@@ -1,0 +1,172 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation and prints them in the paper's layout. Select experiments with
+// -exp (comma-separated), or run everything.
+//
+//	benchrunner -exp figure3,figure11
+//	benchrunner -workers 64 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"parajoin/internal/experiments"
+	"parajoin/internal/planner"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*experiments.Suite) error
+}
+
+func renderErr(err error, render func()) error {
+	if err != nil {
+		return err
+	}
+	render()
+	return nil
+}
+
+var catalog = []experiment{
+	{"table1", "Freebase-like relation sizes", func(s *experiments.Suite) error {
+		s.Table1().Render(os.Stdout)
+		return nil
+	}},
+	{"table2", "Q1 load balance, regular shuffles", func(s *experiments.Suite) error {
+		t, err := s.Table2()
+		return renderErr(err, func() { t.Render(os.Stdout) })
+	}},
+	{"table3", "Q1 load balance, HyperCube shuffles", func(s *experiments.Suite) error {
+		t, err := s.Table3()
+		return renderErr(err, func() { t.Render(os.Stdout) })
+	}},
+	{"table4", "Q1 load balance, broadcast", func(s *experiments.Suite) error {
+		t, err := s.Table4()
+		return renderErr(err, func() { t.Render(os.Stdout) })
+	}},
+	{"table5", "Q1 operator time in local joins", func(s *experiments.Suite) error {
+		t, err := s.Table5()
+		return renderErr(err, func() { t.Render(os.Stdout) })
+	}},
+	{"figure3", "Q1 six configurations", sixConfigs("Q1")},
+	{"figure4", "Q2 six configurations", sixConfigs("Q2")},
+	{"figure6", "Q3 six configurations", sixConfigs("Q3")},
+	{"figure8", "Q4 worker utilization HC_TJ vs BR_TJ", func(s *experiments.Suite) error {
+		u, err := s.Utilization("Q4", planner.HCTJ, planner.BRTJ)
+		return renderErr(err, func() { u.Render(os.Stdout) })
+	}},
+	{"figure9", "Q4 six configurations", sixConfigs("Q4")},
+	{"figure10", "Q1 scalability 2..64 workers", func(s *experiments.Suite) error {
+		sc, err := s.Scalability("Q1")
+		return renderErr(err, func() { sc.Render(os.Stdout) })
+	}},
+	{"figure11", "share-configuration algorithms, N=64,63,65", func(s *experiments.Suite) error {
+		f, err := s.Figure11([]string{"Q1", "Q2", "Q3", "Q4"}, nil)
+		return renderErr(err, func() { f.Render(os.Stdout) })
+	}},
+	{"figure12", "variable-order cost model scatter", func(s *experiments.Suite) error {
+		for _, q := range []string{"Q3", "Q4", "Q7", "Q8"} {
+			st, err := s.OrderStudy(q, 20, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			st.Render(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	}},
+	{"figure13", "Q5 six configurations", sixConfigs("Q5")},
+	{"figure14", "Q6 six configurations", sixConfigs("Q6")},
+	{"figure15", "Q7 six configurations", sixConfigs("Q7")},
+	{"figure17", "Q8 six configurations", sixConfigs("Q8")},
+	{"table6", "summary across Q1..Q8", func(s *experiments.Suite) error {
+		t, err := s.Table6()
+		return renderErr(err, func() { t.Render(os.Stdout) })
+	}},
+	{"table7", "random vs best variable order", func(s *experiments.Suite) error {
+		fmt.Println("Table 7: query runtime with random attribute orders vs the cost model's best")
+		fmt.Printf("%-4s %20s %20s\n", "q", "avg random", "best order")
+		for _, q := range []string{"Q3", "Q4", "Q7", "Q8"} {
+			st, err := s.OrderStudy(q, 20, 30*time.Second)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-4s %20v %20v\n", q,
+				st.AvgRandom.Round(time.Microsecond), st.Best.Runtime.Round(time.Microsecond))
+		}
+		return nil
+	}},
+	{"table8", "Q7 relation sizes after selection pushdown", func(s *experiments.Suite) error {
+		s.Table8().Render(os.Stdout)
+		return nil
+	}},
+	{"semijoin", "semijoin plans vs RS and HC (§3.6)", func(s *experiments.Suite) error {
+		st, err := s.SemijoinStudy("Q3", "Q7")
+		return renderErr(err, func() { st.Render(os.Stdout) })
+	}},
+	{"skewstudy", "heavy-hitter-aware shuffle vs plain (footnote 2)", func(s *experiments.Suite) error {
+		st, err := s.SkewStudy("Q1", "Q5")
+		return renderErr(err, func() { st.Render(os.Stdout) })
+	}},
+}
+
+func sixConfigs(q string) func(*experiments.Suite) error {
+	return func(s *experiments.Suite) error {
+		sc, err := s.SixConfigs(q)
+		return renderErr(err, func() { sc.Render(os.Stdout) })
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchrunner: ")
+	var (
+		expList = flag.String("exp", "", "comma-separated experiment names (default: all); see -list")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 64, "cluster size")
+		edges   = flag.Int("edges", 0, "override synthetic graph edges")
+		timeout = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range catalog {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	suite := experiments.NewSuite()
+	suite.Workers = *workers
+	suite.Timeout = *timeout
+	if *edges > 0 {
+		suite.Graph.Edges = *edges
+	}
+	defer suite.Close()
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*expList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[strings.ToLower(n)] = true
+		}
+	}
+
+	start := time.Now()
+	for _, e := range catalog {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.name, e.desc)
+		t0 := time.Now()
+		if err := e.run(suite); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,94 @@
+// Command datagen writes the synthetic datasets to CSV files, so the
+// workload can be inspected or loaded into other systems.
+//
+//	datagen -out /tmp/parajoin-data -edges 30000
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"parajoin/internal/dataset"
+	"parajoin/internal/rel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		out   = flag.String("out", "data", "output directory")
+		edges = flag.Int("edges", dataset.DefaultTwitter().Edges, "graph edges")
+		nodes = flag.Int("nodes", dataset.DefaultTwitter().Nodes, "graph nodes")
+		seed  = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	graph := dataset.Twitter(dataset.GraphConfig{Edges: *edges, Nodes: *nodes, Skew: 1.3, Seed: *seed})
+	writeCSV(*out, graph)
+
+	kbCfg := dataset.DefaultKB()
+	kbCfg.Seed = *seed
+	kb := dataset.NewKB(kbCfg)
+	for _, r := range kb.Relations() {
+		writeCSV(*out, r)
+	}
+	// The dictionary, so string codes can be decoded.
+	writeDict(*out, kb)
+	fmt.Printf("wrote %s/{Twitter,ObjectName,ActorPerform,PerformFilm,DirectorFilm,HonorAward,HonorActor,HonorYear,dictionary}.csv\n", *out)
+}
+
+func writeCSV(dir string, r *rel.Relation) {
+	f, err := os.Create(filepath.Join(dir, r.Name+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(r.Schema); err != nil {
+		log.Fatal(err)
+	}
+	row := make([]string, r.Arity())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			row[i] = strconv.FormatInt(v, 10)
+		}
+		if err := w.Write(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %8d tuples\n", r.Name, r.Cardinality())
+}
+
+func writeDict(dir string, kb *dataset.KB) {
+	f, err := os.Create(filepath.Join(dir, "dictionary.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"code", "name"}); err != nil {
+		log.Fatal(err)
+	}
+	for code := int64(0); code < int64(kb.Dict.Len()); code++ {
+		if err := w.Write([]string{strconv.FormatInt(code, 10), kb.Dict.Name(code)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatal(err)
+	}
+}

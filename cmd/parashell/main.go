@@ -1,0 +1,198 @@
+// Command parashell is an interactive datalog shell over the parajoin
+// engine: load CSV relations (or generate synthetic graphs), type rules,
+// and compare execution strategies.
+//
+//	$ parashell -workers 8
+//	> \gen E 20000 1200
+//	> \strategy hc_tj
+//	> Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)
+//	7749 rows  wall=112ms shuffled=120000 [hc_tj, shares [x:2 × y:2 × z:2]]
+//
+// Commands:
+//
+//	\load <name> <file.csv>   load a relation from CSV
+//	\gen <name> <edges> <nodes>  generate a synthetic power-law graph
+//	\rels                     list loaded relations
+//	\strategy [name]          show or set the strategy (auto, hc_tj, ...)
+//	\count <rule>             run a rule, printing only the answer count
+//	\limit <n>                rows printed per query (default 10)
+//	\quit                     exit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"parajoin"
+)
+
+type shell struct {
+	db       *parajoin.DB
+	strategy parajoin.Strategy
+	limit    int
+	out      io.Writer
+}
+
+func main() {
+	log.SetFlags(0)
+	workers := flag.Int("workers", 8, "cluster size")
+	flag.Parse()
+
+	sh := &shell{
+		db:       parajoin.Open(*workers),
+		strategy: parajoin.Auto,
+		limit:    10,
+		out:      os.Stdout,
+	}
+	defer sh.db.Close()
+
+	fmt.Fprintf(sh.out, "parajoin shell — %d workers. \\quit to exit, \\gen E 20000 1200 to get data.\n", *workers)
+	sh.repl(os.Stdin)
+}
+
+func (sh *shell) repl(in io.Reader) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(sh.out, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(sh.out)
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			return
+		}
+		if err := sh.eval(line); err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+		}
+	}
+}
+
+func (sh *shell) eval(line string) error {
+	if strings.HasPrefix(line, `\`) {
+		return sh.command(line)
+	}
+	return sh.runRule(line, false)
+}
+
+func (sh *shell) command(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\load`:
+		if len(fields) != 3 {
+			return fmt.Errorf(`usage: \load <name> <file.csv>`)
+		}
+		if err := sh.db.LoadCSV(fields[1], fields[2]); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "loaded %s: %d rows\n", fields[1], sh.db.Cardinality(fields[1]))
+		return nil
+
+	case `\gen`:
+		if len(fields) != 4 {
+			return fmt.Errorf(`usage: \gen <name> <edges> <nodes>`)
+		}
+		edges, err1 := strconv.Atoi(fields[2])
+		nodes, err2 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("edges and nodes must be integers")
+		}
+		if err := sh.db.LoadEdges(fields[1], parajoin.SyntheticGraph(edges, nodes, 42)); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "generated %s: %d edges over %d nodes\n",
+			fields[1], sh.db.Cardinality(fields[1]), nodes)
+		return nil
+
+	case `\rels`:
+		for _, name := range sh.db.Relations() {
+			fmt.Fprintf(sh.out, "%-16s %d rows\n", name, sh.db.Cardinality(name))
+		}
+		return nil
+
+	case `\strategy`:
+		if len(fields) == 1 {
+			fmt.Fprintf(sh.out, "strategy: %s\n", sh.strategy)
+			return nil
+		}
+		s := parajoin.Strategy(strings.ToLower(fields[1]))
+		switch s {
+		case parajoin.Auto, parajoin.HyperCubeTributary, parajoin.HyperCubeHash,
+			parajoin.RegularHash, parajoin.RegularTributary, parajoin.RegularHashSkew,
+			parajoin.BroadcastHash, parajoin.BroadcastTributary, parajoin.Semijoin:
+			sh.strategy = s
+			fmt.Fprintf(sh.out, "strategy: %s\n", s)
+			return nil
+		}
+		return fmt.Errorf("unknown strategy %q", fields[1])
+
+	case `\limit`:
+		if len(fields) != 2 {
+			return fmt.Errorf(`usage: \limit <n>`)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("limit must be a non-negative integer")
+		}
+		sh.limit = n
+		return nil
+
+	case `\count`:
+		rule := strings.TrimSpace(strings.TrimPrefix(line, `\count`))
+		if rule == "" {
+			return fmt.Errorf(`usage: \count <rule>`)
+		}
+		return sh.runRule(rule, true)
+	}
+	return fmt.Errorf("unknown command %s", fields[0])
+}
+
+func (sh *shell) runRule(rule string, countOnly bool) error {
+	q, err := sh.db.Query(rule)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if countOnly {
+		n, st, err := q.CountWith(ctx, sh.strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "count = %d  wall=%v shuffled=%d [%s]\n",
+			n, st.Wall.Round(time.Millisecond), st.TuplesShuffled, st.Strategy)
+		return nil
+	}
+	res, err := q.RunWith(ctx, sh.strategy)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	extra := ""
+	if st.HyperCubeShares != "" {
+		extra = ", shares " + st.HyperCubeShares
+	}
+	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d skew=%.2f [%s%s]\n",
+		len(res.Rows), st.Wall.Round(time.Millisecond), st.TuplesShuffled,
+		st.MaxConsumerSkew, st.Strategy, extra)
+	fmt.Fprintf(sh.out, "%v\n", res.Columns)
+	for i, row := range res.Rows {
+		if i >= sh.limit {
+			fmt.Fprintf(sh.out, "... %d more rows (\\limit to adjust)\n", len(res.Rows)-i)
+			break
+		}
+		fmt.Fprintln(sh.out, row)
+	}
+	return nil
+}

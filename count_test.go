@@ -1,0 +1,71 @@
+package parajoin
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCountMatchesRun(t *testing.T) {
+	db := testDB(t, 4)
+	loadTriangleGraph(t, db)
+
+	q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies() {
+		n, st, err := q.CountWith(context.Background(), s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if n != int64(len(res.Rows)) {
+			t.Errorf("%s: Count = %d, Run found %d", s, n, len(res.Rows))
+		}
+		if st.Wall <= 0 {
+			t.Errorf("%s: stats missing", s)
+		}
+	}
+}
+
+func TestCountProjectionDedupsGlobally(t *testing.T) {
+	db := testDB(t, 4)
+	loadTriangleGraph(t, db)
+
+	// Projection: distinct vertices that are in some triangle. Per-worker
+	// counting without the global dedup pass would overcount.
+	q, err := db.Query("OnTri(x) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := q.CountWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(res.Rows)) {
+		t.Fatalf("Count = %d, distinct rows = %d", n, len(res.Rows))
+	}
+}
+
+func TestCountAuto(t *testing.T) {
+	db := testDB(t, 4)
+	loadTriangleGraph(t, db)
+	q, _ := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	n, st, err := q.Count(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("expected triangles")
+	}
+	if st.Strategy != HyperCubeTributary {
+		t.Errorf("auto count picked %s", st.Strategy)
+	}
+}

@@ -1,0 +1,54 @@
+package parajoin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// LoadCSV loads a relation from a CSV file whose first row names the
+// columns. Values that parse as integers load directly; anything else is
+// dictionary-encoded through the database dictionary (so string constants
+// in query rules match). This reads the format cmd/datagen writes.
+func (db *DB) LoadCSV(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("parajoin: %w", err)
+	}
+	defer f.Close()
+	return db.LoadCSVReader(name, f)
+}
+
+// LoadCSVReader is LoadCSV from any reader.
+func (db *DB) LoadCSVReader(name string, r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("parajoin: reading CSV header: %w", err)
+	}
+	columns := append([]string(nil), header...)
+
+	var rows [][]int64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("parajoin: reading CSV line %d: %w", line, err)
+		}
+		row := make([]int64, len(rec))
+		for i, field := range rec {
+			if v, err := strconv.ParseInt(field, 10, 64); err == nil {
+				row[i] = v
+			} else {
+				row[i] = db.Code(field)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return db.Load(name, columns, rows)
+}

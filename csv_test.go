@@ -1,0 +1,63 @@
+package parajoin
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVReader(t *testing.T) {
+	db := testDB(t, 2)
+	data := "id,name\n1,alice\n2,bob\n3,alice\n"
+	if err := db.LoadCSVReader("Name", strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if db.Cardinality("Name") != 3 {
+		t.Fatalf("loaded %d rows", db.Cardinality("Name"))
+	}
+	q, err := db.Query(`Q(id) :- Name(id, "alice")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), RegularHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("query over CSV data returned %v", res.Rows)
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	db := testDB(t, 2)
+	path := filepath.Join(t.TempDir(), "edges.csv")
+	if err := os.WriteFile(path, []byte("src,dst\n1,2\n2,3\n3,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadCSV("E", path); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	res, err := q.RunWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("the 3-cycle has 3 rotations, got %d", len(res.Rows))
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := testDB(t, 2)
+	if err := db.LoadCSV("X", "/does/not/exist.csv"); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := db.LoadCSVReader("X", strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if err := db.LoadCSVReader("X", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged CSV should error")
+	}
+}

@@ -1,0 +1,64 @@
+// Graphlet counting — the workload that motivates the paper (§1): the
+// structure of a complex network is characterized by the frequencies of
+// small subgraph patterns, most of which are cyclic and therefore painful
+// for traditional join plans. This example counts four graphlets on a
+// power-law network and shows how each strategy copes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"parajoin"
+)
+
+type graphlet struct {
+	name string
+	rule string
+}
+
+var graphlets = []graphlet{
+	{"triangle", "Triangle(x,y,z) :- E(x,y), E(y,z), E(z,x)"},
+	{"rectangle", "Rectangle(x,y,z,p) :- E(x,y), E(y,z), E(z,p), E(p,x)"},
+	{"two-rings", "TwoRings(x,y,z,p) :- E(x,y), E(y,z), E(z,p), E(p,x), E(x,z)"},
+	{"4-clique", "Clique(x,y,z,p) :- E(x,y), E(y,z), E(z,p), E(p,x), E(x,z), E(y,p)"},
+}
+
+func main() {
+	db := parajoin.Open(16)
+	defer db.Close()
+
+	if err := db.LoadEdges("E", parajoin.SyntheticGraph(15000, 900, 7)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d edges\n\n", db.Cardinality("E"))
+	fmt.Printf("%-10s %10s %12s %12s %12s %s\n", "graphlet", "count", "hc_tj", "rs_hj", "shuffle ratio", "(rs/hc tuples)")
+
+	ctx := context.Background()
+	for _, g := range graphlets {
+		q, err := db.Query(g.rule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hc, err := q.RunWith(ctx, parajoin.HyperCubeTributary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := q.RunWith(ctx, parajoin.RegularHash)
+		if err != nil {
+			log.Fatalf("%s under rs_hj: %v", g.name, err)
+		}
+		if len(hc.Rows) != len(rs.Rows) {
+			log.Fatalf("%s: strategies disagree (%d vs %d)", g.name, len(hc.Rows), len(rs.Rows))
+		}
+		ratio := float64(rs.Stats.TuplesShuffled) / float64(hc.Stats.TuplesShuffled)
+		fmt.Printf("%-10s %10d %12v %12v %12.1fx\n",
+			g.name, len(hc.Rows),
+			hc.Stats.Wall.Round(time.Millisecond), rs.Stats.Wall.Round(time.Millisecond), ratio)
+	}
+
+	fmt.Println("\ncyclic graphlets shuffle far less data under the HyperCube plan;")
+	fmt.Println("the gap widens with the size of the intermediate results (paper §3).")
+}

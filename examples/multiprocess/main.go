@@ -1,0 +1,102 @@
+// Multiprocess: a real two-process deployment. The parent process hosts
+// workers 0–1, re-executes itself as a child hosting workers 2–3, and both
+// run the same triangle count over TCP. Each process counts the triangles
+// its workers produced; the parent sums.
+//
+// The SPMD contract extends across processes: both load the same data and
+// run the same query, so their planners agree on exchange ids, hash seeds,
+// and HyperCube shares.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"parajoin"
+)
+
+const (
+	workers  = 4
+	edges    = 10000
+	nodes    = 800
+	dataSeed = 21
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) > 1 && os.Args[1] == "child" {
+		runNode(os.Args[2:], []int{2, 3}, true)
+		return
+	}
+
+	// Pick a port block; both processes derive the same worker addresses.
+	base := 21000 + rand.New(rand.NewSource(int64(os.Getpid()))).Intn(20000)
+	addrs := make([]string, workers)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", base+i)
+	}
+
+	child := exec.Command(os.Args[0], append([]string{"child"}, addrs...)...)
+	child.Stderr = os.Stderr
+	childOut, err := child.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := child.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("parent pid %d hosts workers 0-1; child pid %d hosts workers 2-3\n",
+		os.Getpid(), child.Process.Pid)
+	local := runNode(addrs, []int{0, 1}, false)
+
+	// The child prints "count <n>" for its workers.
+	var remote int64
+	scanner := bufio.NewScanner(childOut)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if rest, ok := strings.CutPrefix(line, "count "); ok {
+			remote, _ = strconv.ParseInt(rest, 10, 64)
+		}
+	}
+	if err := child.Wait(); err != nil {
+		log.Fatalf("child: %v", err)
+	}
+	fmt.Printf("parent workers found %d triangles, child workers %d — total %d\n",
+		local, remote, local+remote)
+}
+
+// runNode opens this process's share of the cluster, loads the data, runs
+// the triangle query, and returns the number of result rows produced by the
+// hosted workers. A child reports on stdout instead.
+func runNode(addrs []string, hosted []int, isChild bool) int64 {
+	db, err := parajoin.OpenTCP(addrs, hosted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.LoadEdges("E", parajoin.SyntheticGraph(edges, nodes, dataSeed)); err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), parajoin.HyperCubeTributary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := int64(len(res.Rows))
+	if isChild {
+		fmt.Printf("count %d\n", n)
+	}
+	return n
+}

@@ -1,0 +1,18 @@
+package parajoin
+
+import (
+	"parajoin/internal/dataset"
+)
+
+// SyntheticGraph generates a power-law directed graph (the stand-in for
+// social-network data like the paper's Twitter subset): edges directed
+// follow edges with Zipf-distributed in-degrees. Deterministic per seed.
+// Useful for trying the engine without real data.
+func SyntheticGraph(edges, nodes int, seed int64) [][2]int64 {
+	g := dataset.Twitter(dataset.GraphConfig{Edges: edges, Nodes: nodes, Skew: 1.3, Seed: seed})
+	out := make([][2]int64, len(g.Tuples))
+	for i, t := range g.Tuples {
+		out[i] = [2]int64{t[0], t[1]}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module parajoin
+
+go 1.22

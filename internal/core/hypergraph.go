@@ -1,0 +1,173 @@
+package core
+
+// The query hypergraph: one vertex per variable, one hyperedge per atom.
+// The share optimizer works on this structure (fractional edge packing is
+// over the hypergraph), and the GYO reduction below decides acyclicity and
+// produces the join tree that the Yannakakis semijoin plans need.
+
+// Hypergraph is the hypergraph of a query. Edges are variable sets indexed
+// like the query's atoms.
+type Hypergraph struct {
+	Vertices []Var
+	Edges    [][]Var
+}
+
+// BuildHypergraph extracts the hypergraph of q.
+func BuildHypergraph(q *Query) *Hypergraph {
+	h := &Hypergraph{Vertices: q.Vars(), Edges: make([][]Var, len(q.Atoms))}
+	for i, a := range q.Atoms {
+		h.Edges[i] = a.Vars()
+	}
+	return h
+}
+
+// JoinTree is a rooted tree over a query's atoms: Parent[i] is the index of
+// atom i's parent, or -1 for the root. It witnesses α-acyclicity and drives
+// the bottom-up/top-down semijoin passes of the Yannakakis algorithm.
+type JoinTree struct {
+	Root   int
+	Parent []int
+	// Order lists atom indexes so that every atom appears after its parent
+	// (a pre-order); reversing it gives a valid bottom-up order.
+	Order []int
+}
+
+// Children returns the child atom indexes of node i.
+func (t *JoinTree) Children(i int) []int {
+	var cs []int
+	for j, p := range t.Parent {
+		if p == i {
+			cs = append(cs, j)
+		}
+	}
+	return cs
+}
+
+// GYOReduce runs the Graham–Yu–Özsoyoğlu ear-removal algorithm on the
+// query's hypergraph. It returns a join tree and true when the query is
+// α-acyclic, or a zero tree and false when it is cyclic.
+//
+// An "ear" is an edge e whose variables are either exclusive to e or all
+// contained in one other edge w (the witness); removing ears until none are
+// left empties the hypergraph exactly when it is acyclic.
+func GYOReduce(q *Query) (*JoinTree, bool) {
+	n := len(q.Atoms)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	edges := make([]map[Var]bool, n)
+	for i, a := range q.Atoms {
+		edges[i] = make(map[Var]bool)
+		for _, v := range a.Vars() {
+			edges[i][v] = true
+		}
+	}
+
+	// varCount[v] = number of alive edges containing v.
+	varCount := make(map[Var]int)
+	for i := range edges {
+		for v := range edges[i] {
+			varCount[v]++
+		}
+	}
+
+	removed := 0
+	var removalOrder []int
+	for removed < n {
+		ear := -1
+		witness := -1
+		for i := 0; i < n && ear < 0; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Shared variables of edge i (appear in some other alive edge).
+			var shared []Var
+			for v := range edges[i] {
+				if varCount[v] >= 2 {
+					shared = append(shared, v)
+				}
+			}
+			if len(shared) == 0 {
+				// Fully isolated edge: an ear with no witness.
+				ear = i
+				break
+			}
+			// Look for a single alive witness containing all shared vars.
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				all := true
+				for _, v := range shared {
+					if !edges[j][v] {
+						all = false
+						break
+					}
+				}
+				if all {
+					ear, witness = i, j
+					break
+				}
+			}
+		}
+		if ear < 0 {
+			return nil, false // no ear: cyclic
+		}
+		alive[ear] = false
+		for v := range edges[ear] {
+			varCount[v]--
+		}
+		parent[ear] = witness
+		removalOrder = append(removalOrder, ear)
+		removed++
+	}
+
+	// The last removed ear has no witness; it is the root. Any earlier ear
+	// with witness -1 (fully isolated) is attached to the root so the result
+	// is a single tree — a cartesian product edge in the join tree, which is
+	// the correct semantics for disconnected acyclic queries.
+	root := removalOrder[len(removalOrder)-1]
+	for i := range parent {
+		if parent[i] == -1 && i != root {
+			parent[i] = root
+		}
+	}
+
+	// Pre-order: parents before children.
+	order := make([]int, 0, n)
+	var visit func(i int)
+	visit = func(i int) {
+		order = append(order, i)
+		for j := 0; j < n; j++ {
+			if parent[j] == i {
+				visit(j)
+			}
+		}
+	}
+	visit(root)
+
+	return &JoinTree{Root: root, Parent: parent, Order: order}, true
+}
+
+// IsAcyclic reports whether the query hypergraph is α-acyclic.
+func IsAcyclic(q *Query) bool {
+	_, ok := GYOReduce(q)
+	return ok
+}
+
+// SharedVars returns the variables common to atoms i and j of q — the join
+// attributes along a join-tree edge.
+func SharedVars(q *Query, i, j int) []Var {
+	var shared []Var
+	for _, v := range q.Atoms[i].Vars() {
+		if q.Atoms[j].HasVar(v) {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func triangle() *Query {
+	return MustQuery("Triangle", nil, []Atom{
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+		NewAtom("T", V("z"), V("x")),
+	})
+}
+
+func TestQueryVarsOrder(t *testing.T) {
+	q := triangle()
+	got := q.Vars()
+	want := []Var{"x", "y", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestJoinVars(t *testing.T) {
+	// a appears once (head only), h joins three atoms, aw joins two.
+	q := MustQuery("Q7", []Var{"a"}, []Atom{
+		NewAtom("ObjectName", V("aw"), C(1)),
+		NewAtom("HonorAward", V("h"), V("aw")),
+		NewAtom("HonorActor", V("h"), V("a")),
+		NewAtom("HonorYear", V("h"), V("y")),
+	})
+	jv := q.JoinVars()
+	if len(jv) != 2 || jv[0] != "aw" || jv[1] != "h" {
+		t.Fatalf("JoinVars = %v, want [aw h]", jv)
+	}
+}
+
+func TestSelfJoinAliases(t *testing.T) {
+	q := MustQuery("Q", nil, []Atom{
+		NewAtom("E", V("x"), V("y")),
+		NewAtom("E", V("y"), V("z")),
+		NewAtom("E", V("z"), V("x")),
+	})
+	seen := make(map[string]bool)
+	for _, a := range q.Atoms {
+		if seen[a.Alias] {
+			t.Fatalf("duplicate alias %q", a.Alias)
+		}
+		seen[a.Alias] = true
+		if a.Relation != "E" {
+			t.Fatalf("alias %q lost relation name: %q", a.Alias, a.Relation)
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if _, err := NewQuery("Bad", []Var{"w"}, []Atom{NewAtom("R", V("x"))}); err == nil {
+		t.Error("unbound head variable should be rejected")
+	}
+	if _, err := NewQuery("Bad", nil, nil); err == nil {
+		t.Error("query with no atoms should be rejected")
+	}
+	if _, err := NewQuery("Bad", nil, []Atom{NewAtom("R", V("x"))},
+		Filter{Left: "nope", Op: Gt, Right: C(0)}); err == nil {
+		t.Error("filter on unbound variable should be rejected")
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b int64
+		want bool
+	}{
+		{Eq, 1, 1, true}, {Eq, 1, 2, false},
+		{Ne, 1, 2, true}, {Ne, 2, 2, false},
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFiltersOn(t *testing.T) {
+	q := MustQuery("Q", nil,
+		[]Atom{NewAtom("R", V("x"), V("y")), NewAtom("S", V("y"), V("z"))},
+		Filter{Left: "x", Op: Gt, Right: V("z")},
+		Filter{Left: "y", Op: Ge, Right: C(10)},
+	)
+	fs := q.FiltersOn(map[Var]bool{"y": true})
+	if len(fs) != 1 || fs[0].Left != "y" {
+		t.Fatalf("FiltersOn(y) = %v", fs)
+	}
+	fs = q.FiltersOn(map[Var]bool{"x": true, "z": true, "y": true})
+	if len(fs) != 2 {
+		t.Fatalf("FiltersOn(all) = %v", fs)
+	}
+}
+
+func TestIsFullAndHeadVars(t *testing.T) {
+	q := triangle()
+	if !q.IsFull() {
+		t.Error("triangle with empty head should be full")
+	}
+	q2 := MustQuery("Q", []Var{"x"}, []Atom{NewAtom("R", V("x"), V("y"))})
+	if q2.IsFull() {
+		t.Error("projection query should not be full")
+	}
+	if hv := q2.HeadVars(); len(hv) != 1 || hv[0] != "x" {
+		t.Errorf("HeadVars = %v", hv)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := triangle().String()
+	for _, want := range []string{"Triangle(x,y,z)", "R(x,y)", "S(y,z)", "T(z,x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestGYOAcyclic(t *testing.T) {
+	// Path query: acyclic.
+	path := MustQuery("Path", nil, []Atom{
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+		NewAtom("T", V("z"), V("w")),
+	})
+	tree, ok := GYOReduce(path)
+	if !ok {
+		t.Fatal("path query should be acyclic")
+	}
+	if len(tree.Order) != 3 {
+		t.Fatalf("join tree order %v should cover all atoms", tree.Order)
+	}
+	checkRunningIntersection(t, path, tree)
+}
+
+func TestGYOCyclic(t *testing.T) {
+	if IsAcyclic(triangle()) {
+		t.Fatal("triangle should be cyclic")
+	}
+	// 4-cycle is cyclic too.
+	rect := MustQuery("Rect", nil, []Atom{
+		NewAtom("A", V("x"), V("y")),
+		NewAtom("B", V("y"), V("z")),
+		NewAtom("C", V("z"), V("p")),
+		NewAtom("D", V("p"), V("x")),
+	})
+	if IsAcyclic(rect) {
+		t.Fatal("4-cycle should be cyclic")
+	}
+}
+
+func TestGYOStarAcyclic(t *testing.T) {
+	star := MustQuery("Star", nil, []Atom{
+		NewAtom("F", V("a"), V("b"), V("c")),
+		NewAtom("D1", V("a"), V("u")),
+		NewAtom("D2", V("b"), V("v")),
+		NewAtom("D3", V("c"), V("w")),
+	})
+	tree, ok := GYOReduce(star)
+	if !ok {
+		t.Fatal("star query should be acyclic")
+	}
+	checkRunningIntersection(t, star, tree)
+}
+
+// checkRunningIntersection verifies the join-tree property Yannakakis
+// depends on: for every variable, the atoms containing it form a connected
+// subtree.
+func checkRunningIntersection(t *testing.T, q *Query, tree *JoinTree) {
+	t.Helper()
+	for _, v := range q.Vars() {
+		with := q.AtomsWith(v)
+		if len(with) < 2 {
+			continue
+		}
+		inSet := make(map[int]bool, len(with))
+		for _, i := range with {
+			inSet[i] = true
+		}
+		// Connected iff all but one member of the set has its closest
+		// ancestor-in-set as its join-tree parent walk: walk each node up
+		// until hitting another member; that path must not leave and re-enter.
+		// Equivalent simple check: the members with their parent also in the
+		// set must number len(with)-1 after contracting paths; here we use
+		// the standard check that the subgraph induced on the tree is
+		// connected via union-find over tree edges within the set.
+		parent := make(map[int]int, len(with))
+		for _, i := range with {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, i := range with {
+			if p := tree.Parent[i]; p >= 0 && inSet[p] {
+				parent[find(i)] = find(p)
+			}
+		}
+		root := find(with[0])
+		for _, i := range with[1:] {
+			if find(i) != root {
+				t.Fatalf("variable %s: atoms %v are not connected in join tree (parents %v)",
+					v, with, tree.Parent)
+			}
+		}
+	}
+}
+
+func TestGYOQ3LikeAcyclic(t *testing.T) {
+	// The paper's Q3 shape: a chain of joins through shared film variable.
+	q := MustQuery("Q3", []Var{"cast"}, []Atom{
+		NewAtom("ObjectName", V("a1"), C(100)),
+		NewAtom("ActorPerform", V("a1"), V("p1")),
+		NewAtom("PerformFilm", V("p1"), V("film")),
+		NewAtom("ObjectName", V("a2"), C(200)),
+		NewAtom("ActorPerform", V("a2"), V("p2")),
+		NewAtom("PerformFilm", V("p2"), V("film")),
+		NewAtom("PerformFilm", V("p"), V("film")),
+		NewAtom("ActorPerform", V("p"), V("cast")),
+	})
+	if !IsAcyclic(q) {
+		t.Fatal("Q3 should be acyclic")
+	}
+	tree, _ := GYOReduce(q)
+	checkRunningIntersection(t, q, tree)
+}
+
+func TestJoinTreeChildrenAndOrder(t *testing.T) {
+	path := MustQuery("Path", nil, []Atom{
+		NewAtom("R", V("x"), V("y")),
+		NewAtom("S", V("y"), V("z")),
+		NewAtom("T", V("z"), V("w")),
+	})
+	tree, ok := GYOReduce(path)
+	if !ok {
+		t.Fatal("path acyclic")
+	}
+	pos := make(map[int]int)
+	for i, a := range tree.Order {
+		pos[a] = i
+	}
+	for i, p := range tree.Parent {
+		if p >= 0 && pos[p] > pos[i] {
+			t.Fatalf("order %v places atom %d before its parent %d", tree.Order, i, p)
+		}
+	}
+	kids := tree.Children(tree.Root)
+	if len(kids) == 0 {
+		t.Fatal("root of a 3-atom path tree must have children")
+	}
+}
+
+func TestSharedVars(t *testing.T) {
+	q := triangle()
+	sv := SharedVars(q, 0, 1)
+	if len(sv) != 1 || sv[0] != "y" {
+		t.Fatalf("SharedVars(R,S) = %v", sv)
+	}
+}
+
+func TestBuildHypergraph(t *testing.T) {
+	h := BuildHypergraph(triangle())
+	if len(h.Vertices) != 3 || len(h.Edges) != 3 {
+		t.Fatalf("hypergraph %d vertices, %d edges", len(h.Vertices), len(h.Edges))
+	}
+	if len(h.Edges[0]) != 2 {
+		t.Fatalf("edge 0 = %v", h.Edges[0])
+	}
+}

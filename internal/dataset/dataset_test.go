@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestTwitterDeterministic(t *testing.T) {
+	cfg := GraphConfig{Edges: 5000, Nodes: 1000, Skew: 1.3, Seed: 1}
+	a := Twitter(cfg)
+	b := Twitter(cfg)
+	if !a.Equal(b) {
+		t.Fatal("same seed must generate the same graph")
+	}
+	cfg.Seed = 2
+	c := Twitter(cfg)
+	if a.Equal(c) {
+		t.Fatal("different seeds should generate different graphs")
+	}
+}
+
+func TestTwitterShape(t *testing.T) {
+	cfg := GraphConfig{Edges: 8000, Nodes: 1500, Skew: 1.3, Seed: 3}
+	g := Twitter(cfg)
+	if g.Cardinality() != cfg.Edges {
+		t.Fatalf("generated %d edges, want %d", g.Cardinality(), cfg.Edges)
+	}
+	// No self loops, ids in range.
+	inDeg := map[int64]int{}
+	for _, e := range g.Tuples {
+		if e[0] == e[1] {
+			t.Fatalf("self loop %v", e)
+		}
+		if e[0] < 0 || e[0] >= int64(cfg.Nodes) || e[1] < 0 || e[1] >= int64(cfg.Nodes) {
+			t.Fatalf("node id out of range in %v", e)
+		}
+		inDeg[e[1]]++
+	}
+	// Power law: the hottest node's in-degree must far exceed the average.
+	max := 0
+	for _, d := range inDeg {
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(cfg.Edges) / float64(len(inDeg))
+	if float64(max) < 5*avg {
+		t.Fatalf("max in-degree %d vs avg %.1f: degree distribution is not heavy-tailed", max, avg)
+	}
+}
+
+func TestTwitterDegenerateConfigs(t *testing.T) {
+	if g := Twitter(GraphConfig{}); g.Cardinality() != 0 {
+		t.Fatal("empty config should generate an empty graph")
+	}
+	if g := Twitter(GraphConfig{Edges: 10, Nodes: 2, Seed: 1}); g.Cardinality() == 0 {
+		t.Fatal("two-node graph should still have edges")
+	}
+}
+
+func TestKBShape(t *testing.T) {
+	cfg := KBConfig{Actors: 200, Films: 150, Performances: 800, Directors: 30, Honors: 100, Awards: 5, Seed: 1}
+	kb := NewKB(cfg)
+
+	if kb.ActorPerform.Cardinality() != kb.PerformFilm.Cardinality() {
+		t.Fatalf("|AP| = %d must equal |PF| = %d",
+			kb.ActorPerform.Cardinality(), kb.PerformFilm.Cardinality())
+	}
+	if kb.ActorPerform.Cardinality() < cfg.Performances {
+		t.Fatalf("|AP| = %d below configured %d", kb.ActorPerform.Cardinality(), cfg.Performances)
+	}
+	if kb.HonorAward.Cardinality() != cfg.Honors || kb.HonorYear.Cardinality() != cfg.Honors {
+		t.Fatal("honor relations must have one row per honor")
+	}
+	// DirectorFilm ≈ one per film.
+	if df := kb.DirectorFilm.Cardinality(); df == 0 || df > cfg.Films {
+		t.Fatalf("|DF| = %d for %d films", df, cfg.Films)
+	}
+
+	// The selection constants resolve.
+	for _, name := range []string{NameJoePesci, NameRobertDeNiro, NameAcademyAwards} {
+		if _, ok := kb.Dict.Lookup(name); !ok {
+			t.Fatalf("dictionary misses %q", name)
+		}
+	}
+
+	// The famous pair must co-star somewhere: films of Pesci ∩ films of De Niro ≠ ∅.
+	films := func(actor int64) map[int64]bool {
+		perf := map[int64]bool{}
+		for _, tp := range kb.ActorPerform.Tuples {
+			if tp[0] == actor {
+				perf[tp[1]] = true
+			}
+		}
+		fs := map[int64]bool{}
+		for _, tp := range kb.PerformFilm.Tuples {
+			if perf[tp[0]] {
+				fs[tp[1]] = true
+			}
+		}
+		return fs
+	}
+	pesci := films(kb.JoePesci)
+	shared := 0
+	for f := range films(kb.RobertDeNiro) {
+		if pesci[f] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("the famous pair must co-star in at least one film (Q3 would be empty)")
+	}
+}
+
+func TestKBDeterministic(t *testing.T) {
+	cfg := KBConfig{Actors: 100, Films: 80, Performances: 300, Directors: 20, Honors: 50, Awards: 4, Seed: 9}
+	a, b := NewKB(cfg), NewKB(cfg)
+	if !a.ActorPerform.Equal(b.ActorPerform) || !a.HonorYear.Equal(b.HonorYear) {
+		t.Fatal("same seed must generate the same knowledge base")
+	}
+}
+
+func TestEntityIDSpacesDisjoint(t *testing.T) {
+	kb := NewKB(KBConfig{Actors: 50, Films: 40, Performances: 150, Directors: 10, Honors: 30, Awards: 3, Seed: 2})
+	for _, tp := range kb.ActorPerform.Tuples {
+		if tp[0] < actorBase || tp[0] >= filmBase {
+			t.Fatalf("actor id %d outside actor space", tp[0])
+		}
+		if tp[1] < performBase || tp[1] >= directorBase {
+			t.Fatalf("perform id %d outside perform space", tp[1])
+		}
+	}
+	for _, tp := range kb.PerformFilm.Tuples {
+		if tp[1] < filmBase || tp[1] >= performBase {
+			t.Fatalf("film id %d outside film space", tp[1])
+		}
+	}
+}

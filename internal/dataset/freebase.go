@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parajoin/internal/rel"
+)
+
+// Names of the constants the paper's Freebase queries select on.
+const (
+	NameJoePesci      = "Joe Pesci"
+	NameRobertDeNiro  = "Robert De Niro"
+	NameAcademyAwards = "The Academy Awards"
+)
+
+// KBConfig sizes the synthetic knowledge base. The defaults keep the
+// paper's ratios between relations (ActorPerform ≈ PerformFilm, DirectorFilm
+// ≈ 0.17×PerformFilm, HonorActor slightly above HonorAward) at laptop
+// scale.
+type KBConfig struct {
+	Actors       int
+	Films        int
+	Performances int
+	Directors    int
+	Honors       int
+	Awards       int
+	Seed         int64
+}
+
+// DefaultKB is the laptop-scale default.
+func DefaultKB() KBConfig {
+	return KBConfig{
+		Actors:       2500,
+		Films:        1600,
+		Performances: 8000,
+		Directors:    250,
+		Honors:       1000,
+		Awards:       20,
+		Seed:         7,
+	}
+}
+
+// KB is the generated knowledge base: the relations of Table 1 and the
+// appendix (Tables 8), a shared string dictionary, and the entity ids the
+// benchmark queries select on.
+type KB struct {
+	Dict *rel.Dict
+
+	// ObjectName maps every entity to a name code: (object_id, name).
+	ObjectName *rel.Relation
+	// ActorPerform links actors to performances: (actor_id, perform_id).
+	ActorPerform *rel.Relation
+	// PerformFilm links performances to films: (perform_id, film_id).
+	PerformFilm *rel.Relation
+	// DirectorFilm links directors to films: (director_id, film_id).
+	DirectorFilm *rel.Relation
+	// HonorAward links honor events to awards: (honor_id, award_id).
+	HonorAward *rel.Relation
+	// HonorActor links honor events to honorees: (honor_id, actor_id).
+	HonorActor *rel.Relation
+	// HonorYear gives each honor's year: (honor_id, year).
+	HonorYear *rel.Relation
+
+	// JoePesci, RobertDeNiro and AcademyAwards are the entity ids behind
+	// the paper's selection constants.
+	JoePesci      int64
+	RobertDeNiro  int64
+	AcademyAwards int64
+}
+
+// Relations lists every base relation of the knowledge base.
+func (kb *KB) Relations() []*rel.Relation {
+	return []*rel.Relation{
+		kb.ObjectName, kb.ActorPerform, kb.PerformFilm, kb.DirectorFilm,
+		kb.HonorAward, kb.HonorActor, kb.HonorYear,
+	}
+}
+
+// Entity id spaces are disjoint so a join can never accidentally match an
+// actor to a film id.
+const (
+	actorBase    = 1_000_000
+	filmBase     = 2_000_000
+	performBase  = 3_000_000
+	directorBase = 4_000_000
+	honorBase    = 5_000_000
+	awardBase    = 6_000_000
+)
+
+// NewKB generates the knowledge base. Famous actors appear in many films
+// (Zipf-distributed filmographies); the two actors behind the paper's Q3
+// constants are guaranteed to co-star in several films so the query has a
+// non-trivial answer.
+func NewKB(cfg KBConfig) *KB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kb := &KB{
+		Dict:         rel.NewDict(),
+		ObjectName:   rel.New("ObjectName", "object_id", "name"),
+		ActorPerform: rel.New("ActorPerform", "actor_id", "perform_id"),
+		PerformFilm:  rel.New("PerformFilm", "perform_id", "film_id"),
+		DirectorFilm: rel.New("DirectorFilm", "director_id", "film_id"),
+		HonorAward:   rel.New("HonorAward", "honor_id", "award_id"),
+		HonorActor:   rel.New("HonorActor", "honor_id", "actor_id"),
+		HonorYear:    rel.New("HonorYear", "honor_id", "year"),
+	}
+
+	// Names. Actors 0 and 1 are the famous pair.
+	kb.JoePesci = actorBase
+	kb.RobertDeNiro = actorBase + 1
+	kb.AcademyAwards = awardBase
+	kb.ObjectName.AppendRow(kb.JoePesci, kb.Dict.Code(NameJoePesci))
+	kb.ObjectName.AppendRow(kb.RobertDeNiro, kb.Dict.Code(NameRobertDeNiro))
+	for i := 2; i < cfg.Actors; i++ {
+		kb.ObjectName.AppendRow(actorBase+int64(i), kb.Dict.Code(fmt.Sprintf("Actor %d", i)))
+	}
+	for i := 0; i < cfg.Films; i++ {
+		kb.ObjectName.AppendRow(filmBase+int64(i), kb.Dict.Code(fmt.Sprintf("Film %d", i)))
+	}
+	for i := 0; i < cfg.Directors; i++ {
+		kb.ObjectName.AppendRow(directorBase+int64(i), kb.Dict.Code(fmt.Sprintf("Director %d", i)))
+	}
+	kb.ObjectName.AppendRow(kb.AcademyAwards, kb.Dict.Code(NameAcademyAwards))
+	for i := 1; i < cfg.Awards; i++ {
+		kb.ObjectName.AppendRow(awardBase+int64(i), kb.Dict.Code(fmt.Sprintf("Award %d", i)))
+	}
+
+	// Performances: actor filmographies are Zipf-distributed so a few
+	// actors have long careers (this is what gives Q4 and Q8 their large
+	// intermediate results). Film cast assignment is uniform.
+	actorZipf := rand.NewZipf(rng, 1.2, 4, uint64(cfg.Actors-1))
+	perform := int64(0)
+	seen := map[[2]int64]bool{} // (actor, film) pairs, to avoid duplicate castings
+	for int(perform) < cfg.Performances {
+		actor := actorBase + int64(actorZipf.Uint64())
+		film := filmBase + rng.Int63n(int64(cfg.Films))
+		if seen[[2]int64{actor, film}] {
+			continue
+		}
+		seen[[2]int64{actor, film}] = true
+		pid := performBase + perform
+		kb.ActorPerform.AppendRow(actor, pid)
+		kb.PerformFilm.AppendRow(pid, film)
+		perform++
+	}
+	// Guarantee the famous pair co-stars in a few films.
+	for i := 0; i < 4; i++ {
+		film := filmBase + int64(i)
+		for _, actor := range []int64{kb.JoePesci, kb.RobertDeNiro} {
+			if seen[[2]int64{actor, film}] {
+				continue
+			}
+			seen[[2]int64{actor, film}] = true
+			pid := performBase + perform
+			kb.ActorPerform.AppendRow(actor, pid)
+			kb.PerformFilm.AppendRow(pid, film)
+			perform++
+		}
+	}
+
+	// Directors: careers are Zipf-distributed too; |DirectorFilm| ≈
+	// 0.17 × |PerformFilm| comes from each film having exactly one director
+	// in the paper's ratio.
+	directorZipf := rand.NewZipf(rng, 1.3, 3, uint64(cfg.Directors-1))
+	for i := 0; i < cfg.Films; i++ {
+		d := directorBase + int64(directorZipf.Uint64())
+		kb.DirectorFilm.AppendRow(d, filmBase+int64(i))
+	}
+	kb.DirectorFilm.Dedup()
+
+	// Honors: a Zipf over awards (the Academy Awards dominate) and over
+	// actors, years spread over 1950–2014.
+	awardZipf := rand.NewZipf(rng, 1.5, 1, uint64(cfg.Awards-1))
+	for i := 0; i < cfg.Honors; i++ {
+		h := honorBase + int64(i)
+		kb.HonorAward.AppendRow(h, awardBase+int64(awardZipf.Uint64()))
+		kb.HonorActor.AppendRow(h, actorBase+int64(actorZipf.Uint64()))
+		kb.HonorYear.AppendRow(h, 1950+rng.Int63n(65))
+	}
+
+	return kb
+}

@@ -1,0 +1,77 @@
+// Package dataset generates the synthetic stand-ins for the paper's two
+// datasets: a power-law directed graph for the Twitter follower network and
+// a movie/award knowledge base for Freebase. Both are deterministic under a
+// seed and sized by a scale knob, so tests run on small instances and
+// benchmarks can approach paper scale.
+package dataset
+
+import (
+	"math/rand"
+
+	"parajoin/internal/rel"
+)
+
+// GraphConfig sizes the synthetic social graph.
+type GraphConfig struct {
+	// Edges is the number of directed follow edges before deduplication
+	// (the paper's subset has 1,114,289).
+	Edges int
+	// Nodes is the number of accounts.
+	Nodes int
+	// Skew is the Zipf exponent s (> 1) of the in-degree distribution;
+	// larger means heavier hubs. The paper attributes the regular shuffle's
+	// skew to exactly this power-law (citing Faloutsos et al.).
+	Skew float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultTwitter is a laptop-scale default: big enough for the triangle and
+// clique queries to have large intermediate results, small enough for the
+// full six-configuration sweep to run in seconds.
+func DefaultTwitter() GraphConfig {
+	return GraphConfig{Edges: 30000, Nodes: 1500, Skew: 1.3, Seed: 42}
+}
+
+// Twitter generates the follower graph: schema (src, dst) where src follows
+// dst. In-degrees follow a Zipf distribution (celebrity hubs), out-degrees
+// a milder one. Self-loops are dropped and duplicate edges removed.
+func Twitter(cfg GraphConfig) *rel.Relation {
+	if cfg.Edges <= 0 || cfg.Nodes <= 1 {
+		return rel.New("Twitter", "src", "dst")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	skew := cfg.Skew
+	if skew <= 1 {
+		skew = 1.3
+	}
+	in := rand.NewZipf(rng, skew, 1, uint64(cfg.Nodes-1))
+	out := rand.NewZipf(rng, skew+0.4, 1, uint64(cfg.Nodes-1))
+
+	r := rel.New("Twitter", "src", "dst")
+	seen := make(map[[2]int64]bool, cfg.Edges)
+	// Heavy skew concentrates samples on few pairs; cap the attempts so a
+	// saturated configuration terminates with fewer edges instead of
+	// spinning.
+	for attempts := 0; len(r.Tuples) < cfg.Edges && attempts < 40*cfg.Edges; attempts++ {
+		// Mix the Zipf ranks through a permutation so hub ids are spread
+		// over the id space rather than clustered at zero.
+		src := mixID(int64(out.Uint64()), int64(cfg.Nodes), 0x9e37)
+		dst := mixID(int64(in.Uint64()), int64(cfg.Nodes), 0x85eb)
+		if src == dst || seen[[2]int64{src, dst}] {
+			continue
+		}
+		seen[[2]int64{src, dst}] = true
+		r.AppendRow(src, dst)
+	}
+	return r.Sort()
+}
+
+// mixID maps a Zipf rank to a pseudo-random but fixed node id.
+func mixID(rank, n, salt int64) int64 {
+	x := uint64(rank)*0x9e3779b97f4a7c15 + uint64(salt)
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return int64(x % uint64(n))
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkHashShuffle(b *testing.B) {
+	c := NewCluster(8)
+	defer c.Close()
+	c.Load(randGraph("R", 50000, 5000, 210))
+	plan := shuffleGather("R", []string{"dst"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(context.Background(), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymmetricHashJoinPlan(b *testing.B) {
+	c := NewCluster(8)
+	defer c.Close()
+	c.Load(randGraph("R", 20000, 2000, 211))
+	c.Load(randGraph("S", 20000, 2000, 212))
+	plan := rsJoinPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(context.Background(), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPShuffle(b *testing.B) {
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
+	tr, err := NewTCPTransport(addrs, []int{0, 1, 2, 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClusterWithTransport(4, tr)
+	defer c.Close()
+	c.Load(randGraph("R", 20000, 2000, 213))
+	plan := shuffleGather("R", []string{"dst"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(context.Background(), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

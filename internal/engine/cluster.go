@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"parajoin/internal/rel"
+)
+
+// Cluster is a shared-nothing cluster of workers. Each worker owns a set of
+// named relation fragments (its private storage); plans run identically on
+// every worker (SPMD) and exchange tuples through the Transport.
+type Cluster struct {
+	// BatchSize is the tuple-batch granularity of the operator pipeline and
+	// the exchanges.
+	BatchSize int
+	// MaxLocalTuples caps the tuples a single worker may materialize during
+	// a run (hash tables, Tributary inputs/outputs, dedup state). Zero means
+	// unlimited. When exceeded the run fails with ErrOutOfMemory — the
+	// paper's "FAIL" entries for RS_TJ on Q4/Q5.
+	MaxLocalTuples int64
+
+	workers   int
+	hosted    []int
+	transport Transport
+	storage   []map[string]*rel.Relation
+	// epoch numbers runs so each gets a private exchange-id namespace on
+	// the shared transport.
+	epoch atomic.Int64
+}
+
+// NewCluster creates an n-worker cluster over the in-memory transport.
+func NewCluster(n int) *Cluster {
+	return NewClusterWithTransport(n, NewMemTransport(n))
+}
+
+// NewClusterWithTransport creates a cluster over a custom transport (for
+// example TCPTransport).
+func NewClusterWithTransport(n int, t Transport) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("engine: cluster needs at least one worker, got %d", n))
+	}
+	hosted := make([]int, n)
+	for i := range hosted {
+		hosted[i] = i
+	}
+	c := &Cluster{
+		BatchSize: 1024,
+		workers:   n,
+		hosted:    hosted,
+		transport: t,
+		storage:   make([]map[string]*rel.Relation, n),
+	}
+	for i := range c.storage {
+		c.storage[i] = make(map[string]*rel.Relation)
+	}
+	return c
+}
+
+// NewPartialCluster creates one process's view of an n-worker cluster that
+// spans several processes: this process runs only the hosted workers, and
+// the transport (normally a TCPTransport hosting the same workers) connects
+// it to its peers. Every participating process must execute the same
+// sequence of plans — the SPMD contract extended across processes; plans
+// built by the planner from identical inputs are deterministic, so peers
+// agree on exchange ids, hash seeds, and routing.
+func NewPartialCluster(n int, hosted []int, t Transport) *Cluster {
+	c := NewClusterWithTransport(n, t)
+	c.hosted = append([]int(nil), hosted...)
+	return c
+}
+
+// Hosted returns the workers this process runs.
+func (c *Cluster) Hosted() []int {
+	return append([]int(nil), c.hosted...)
+}
+
+// Workers returns the number of workers.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Transport returns the cluster's transport.
+func (c *Cluster) Transport() Transport { return c.transport }
+
+// Load round-robin-partitions r across the workers under r's name — the
+// initial placement used for every base relation in the paper's
+// experiments.
+func (c *Cluster) Load(r *rel.Relation) {
+	c.LoadFragments(r.Name, r.RoundRobinPartition(c.workers))
+}
+
+// LoadFragments stores pre-partitioned fragments (fragment i goes to worker
+// i) under the given name.
+func (c *Cluster) LoadFragments(name string, frags []*rel.Relation) {
+	if len(frags) != c.workers {
+		panic(fmt.Sprintf("engine: %d fragments for %d workers", len(frags), c.workers))
+	}
+	for w, f := range frags {
+		c.storage[w][name] = f
+	}
+}
+
+// LoadReplicated stores a full copy of r on every worker.
+func (c *Cluster) LoadReplicated(r *rel.Relation) {
+	for w := 0; w < c.workers; w++ {
+		c.storage[w][r.Name] = r
+	}
+}
+
+// Fragment returns worker w's fragment of the named relation, or nil.
+func (c *Cluster) Fragment(w int, name string) *rel.Relation {
+	return c.storage[w][name]
+}
+
+// Stored reassembles the full relation from its fragments, or nil when the
+// name is unknown.
+func (c *Cluster) Stored(name string) *rel.Relation {
+	var frags []*rel.Relation
+	for w := 0; w < c.workers; w++ {
+		f := c.storage[w][name]
+		if f == nil {
+			return nil
+		}
+		frags = append(frags, f)
+	}
+	return rel.Concat(name, frags)
+}
+
+// Drop removes the named relation from every worker.
+func (c *Cluster) Drop(name string) {
+	for w := 0; w < c.workers; w++ {
+		delete(c.storage[w], name)
+	}
+}
+
+// Close releases the transport.
+func (c *Cluster) Close() error {
+	return c.transport.Close()
+}

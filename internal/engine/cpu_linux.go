@@ -1,0 +1,20 @@
+//go:build linux || darwin
+
+package engine
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative user+system CPU time. The
+// difference across a run is the honest "total CPU time" of the paper's
+// figures: per-goroutine busy times overstate work when the host has fewer
+// cores than workers.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package engine
+
+import "time"
+
+// processCPU is unavailable on this platform; reports zero, and Report
+// falls back to busy-time sums.
+func processCPU() time.Duration { return 0 }

@@ -1,0 +1,458 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parajoin/internal/rel"
+)
+
+// exec holds the state of one query run.
+type exec struct {
+	cluster   *Cluster
+	transport Transport
+	metrics   *Metrics
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	batchSize int
+	// epoch namespaces this run's exchange ids on the shared transport, so
+	// consecutive runs on one cluster never touch each other's queues.
+	epoch int64
+
+	memLimit int64
+	memUsed  []atomic.Int64
+	memBlown []atomic.Bool
+}
+
+// wireID maps a plan-local exchange id to the transport-level id for this
+// run. Plans use small ids (< 1<<20 is plenty); epochs keep runs apart.
+func (e *exec) wireID(exchangeID int) int {
+	return int(e.epoch)<<20 | exchangeID
+}
+
+// alloc charges n tuples of materialized state to a worker's memory budget.
+func (e *exec) alloc(worker int, n int64) error {
+	if e.memLimit <= 0 {
+		return nil
+	}
+	if e.memUsed[worker].Add(n) > e.memLimit {
+		e.memBlown[worker].Store(true)
+		return fmt.Errorf("%w (worker %d exceeded %d tuples)", ErrOutOfMemory, worker, e.memLimit)
+	}
+	return nil
+}
+
+// memErr reports whether the worker's budget was blown at any point.
+func (e *exec) memErr(worker int) error {
+	if e.memLimit > 0 && e.memBlown[worker].Load() {
+		return fmt.Errorf("%w (worker %d exceeded %d tuples)", ErrOutOfMemory, worker, e.memLimit)
+	}
+	return nil
+}
+
+// compile turns a plan node into a runtime operator for one task.
+func (e *exec) compile(n Node, t *task) (operator, error) {
+	switch v := n.(type) {
+	case Scan:
+		frag := e.cluster.Fragment(t.worker, v.Table)
+		if frag == nil {
+			return nil, fmt.Errorf("engine: worker %d has no fragment of %q", t.worker, v.Table)
+		}
+		return &scanOp{t: t, table: v.Table, sch: frag.Schema.Clone()}, nil
+
+	case Select:
+		in, err := e.compile(v.Input, t)
+		if err != nil {
+			return nil, err
+		}
+		sch := in.schema()
+		op := &selectOp{in: in, sch: sch}
+		for _, f := range v.Filters {
+			cf := compiledFilter{op: f.Op, right: -1, c: f.Const}
+			if cf.left = sch.IndexOf(f.Left); cf.left < 0 {
+				return nil, fmt.Errorf("engine: select column %q not in %v", f.Left, sch)
+			}
+			if f.RightCol != "" {
+				if cf.right = sch.IndexOf(f.RightCol); cf.right < 0 {
+					return nil, fmt.Errorf("engine: select column %q not in %v", f.RightCol, sch)
+				}
+			}
+			op.filters = append(op.filters, cf)
+		}
+		return op, nil
+
+	case Project:
+		in, err := e.compile(v.Input, t)
+		if err != nil {
+			return nil, err
+		}
+		sch := in.schema()
+		cols := make([]int, len(v.Cols))
+		out := make(rel.Schema, len(v.Cols))
+		for i, c := range v.Cols {
+			if cols[i] = sch.IndexOf(c); cols[i] < 0 {
+				return nil, fmt.Errorf("engine: project column %q not in %v", c, sch)
+			}
+			out[i] = c
+		}
+		if len(v.As) > 0 {
+			if len(v.As) != len(v.Cols) {
+				return nil, fmt.Errorf("engine: project As has %d names for %d columns", len(v.As), len(v.Cols))
+			}
+			copy(out, v.As)
+		}
+		return &projectOp{t: t, in: in, sch: out, cols: cols, dedup: v.Dedup}, nil
+
+	case HashJoin:
+		left, err := e.compile(v.Left, t)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.compile(v.Right, t)
+		if err != nil {
+			return nil, err
+		}
+		if len(v.LeftCols) != len(v.RightCols) || len(v.LeftCols) == 0 {
+			return nil, fmt.Errorf("engine: hash join keys %v vs %v", v.LeftCols, v.RightCols)
+		}
+		ls, rs := left.schema(), right.schema()
+		op := &hashJoinOp{t: t, left: left, right: right}
+		for _, c := range v.LeftCols {
+			i := ls.IndexOf(c)
+			if i < 0 {
+				return nil, fmt.Errorf("engine: join column %q not in left %v", c, ls)
+			}
+			op.lCols = append(op.lCols, i)
+		}
+		drop := make(map[int]bool)
+		for _, c := range v.RightCols {
+			i := rs.IndexOf(c)
+			if i < 0 {
+				return nil, fmt.Errorf("engine: join column %q not in right %v", c, rs)
+			}
+			op.rCols = append(op.rCols, i)
+			drop[i] = true
+		}
+		op.sch = ls.Clone()
+		for i, name := range rs {
+			if !drop[i] {
+				op.sch = append(op.sch, name)
+				op.rKeep = append(op.rKeep, i)
+			}
+		}
+		if err := noDuplicateColumns(op.sch); err != nil {
+			return nil, err
+		}
+		return op, nil
+
+	case Tributary:
+		inputs := make(map[string]operator, len(v.Inputs))
+		for alias, in := range v.Inputs {
+			op, err := e.compile(in, t)
+			if err != nil {
+				return nil, err
+			}
+			inputs[alias] = op
+		}
+		head := v.Query.HeadVars()
+		sch := make(rel.Schema, len(head))
+		for i, h := range head {
+			sch[i] = string(h)
+		}
+		return &tributaryOp{t: t, q: v.Query, inputs: inputs, order: v.Order, mode: v.Mode, sch: sch}, nil
+
+	case SemiJoin:
+		return e.compileSemiJoin(v, t)
+
+	case Count:
+		return e.compileCount(v, t)
+
+	case Recv:
+		return &recvOp{t: t, exchange: v.Exchange, sch: v.Schema.Clone()}, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown node type %T", n)
+	}
+}
+
+func noDuplicateColumns(s rel.Schema) error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		if seen[c] {
+			return fmt.Errorf("engine: ambiguous column %q in schema %v; rename with Project.As", c, s)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// runExchange drains the exchange's input tree on one worker and routes
+// every tuple to its destinations.
+func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
+	t := &task{ex: e, worker: w}
+	start := time.Now()
+	defer func() {
+		e.metrics.addBusy(w, time.Since(start)-t.wait)
+	}()
+	// Always announce end-of-stream, even on failure, so consumers blocked
+	// on Recv terminate (the run context also cancels them, belt and
+	// braces).
+	defer e.transport.CloseSend(e.ctx, e.wireID(spec.ID), w)
+
+	in, err := e.compile(spec.Input, t)
+	if err != nil {
+		return err
+	}
+	if err := in.open(); err != nil {
+		return err
+	}
+	defer in.close()
+
+	route, err := e.router(spec, in.schema())
+	if err != nil {
+		return err
+	}
+	for {
+		b, err := in.next()
+		if err == io.EOF {
+			// A nil batch asks the router to flush its buffers.
+			return route(w, nil)
+		}
+		if err != nil {
+			return err
+		}
+		if err := route(w, b); err != nil {
+			return err
+		}
+	}
+}
+
+// router returns the routing function for an exchange. It buffers per
+// destination and flushes batches through the transport, counting every
+// tuple sent.
+func (e *exec) router(spec *ExchangeSpec, sch rel.Schema) (func(src int, b []rel.Tuple) error, error) {
+	n := e.cluster.Workers()
+	outs := make([][]rel.Tuple, n)
+	flush := func(src, dst int, force bool) error {
+		if len(outs[dst]) == 0 || (!force && len(outs[dst]) < e.batchSize) {
+			return nil
+		}
+		batch := outs[dst]
+		outs[dst] = nil
+		e.metrics.addSent(spec.ID, spec.Name, src, int64(len(batch)))
+		return e.transport.Send(e.ctx, e.wireID(spec.ID), src, dst, batch)
+	}
+	flushAll := func(src int) error {
+		for dst := 0; dst < n; dst++ {
+			if err := flush(src, dst, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	switch spec.Kind {
+	case RouteSkewHash:
+		return e.skewRouter(spec, sch, flush, flushAll, outs)
+
+	case RouteHash:
+		cols := make([]int, len(spec.HashCols))
+		for i, c := range spec.HashCols {
+			if cols[i] = sch.IndexOf(c); cols[i] < 0 {
+				return nil, fmt.Errorf("engine: exchange %d hash column %q not in %v", spec.ID, c, sch)
+			}
+		}
+		return func(src int, b []rel.Tuple) error {
+			for _, t := range b {
+				dst := int(rel.HashTuple(spec.Seed, t, cols) % uint64(n))
+				outs[dst] = append(outs[dst], t)
+				if err := flush(src, dst, false); err != nil {
+					return err
+				}
+			}
+			if b == nil {
+				return flushAll(src)
+			}
+			return nil
+		}, nil
+
+	case RouteBroadcast:
+		return func(src int, b []rel.Tuple) error {
+			for _, t := range b {
+				for dst := 0; dst < n; dst++ {
+					outs[dst] = append(outs[dst], t)
+					if err := flush(src, dst, false); err != nil {
+						return err
+					}
+				}
+			}
+			if b == nil {
+				return flushAll(src)
+			}
+			return nil
+		}, nil
+
+	case RouteHyperCube:
+		if spec.Grid == nil || len(spec.CellMap) != spec.Grid.Cells() {
+			return nil, fmt.Errorf("engine: exchange %d hypercube misconfigured", spec.ID)
+		}
+		router := spec.Grid.RouterFor(spec.Atom)
+		if len(spec.Atom.Terms) != len(sch) {
+			return nil, fmt.Errorf("engine: exchange %d atom %s arity %d vs schema %v",
+				spec.ID, spec.Atom, len(spec.Atom.Terms), sch)
+		}
+		var cells []int
+		seen := make([]bool, n)
+		return func(src int, b []rel.Tuple) error {
+			for _, t := range b {
+				cells = router.Destinations(t, cells[:0])
+				for _, c := range cells {
+					dst := spec.CellMap[c]
+					if seen[dst] {
+						continue
+					}
+					seen[dst] = true
+					outs[dst] = append(outs[dst], t)
+					if err := flush(src, dst, false); err != nil {
+						return err
+					}
+				}
+				for _, c := range cells {
+					seen[spec.CellMap[c]] = false
+				}
+			}
+			if b == nil {
+				return flushAll(src)
+			}
+			return nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("engine: unknown route kind %d", spec.Kind)
+	}
+}
+
+// Run executes a plan across the cluster's workers and returns the union of
+// the per-worker result fragments together with a metrics report.
+func (c *Cluster) Run(ctx context.Context, plan *Plan) (*rel.Relation, *Report, error) {
+	frags, report, err := c.RunFragments(ctx, plan)
+	if err != nil {
+		return nil, report, err
+	}
+	return rel.Concat("result", frags), report, nil
+}
+
+// RunFragments is Run, keeping the per-worker result fragments separate.
+func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation, *Report, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	n := c.Workers()
+	e := &exec{
+		cluster:   c,
+		transport: c.transport,
+		metrics:   NewMetrics(n),
+		ctx:       runCtx,
+		cancel:    cancel,
+		batchSize: c.BatchSize,
+		epoch:     c.epoch.Add(1),
+		memLimit:  c.MaxLocalTuples,
+		memUsed:   make([]atomic.Int64, n),
+		memBlown:  make([]atomic.Bool, n),
+	}
+
+	frags := make([]*rel.Relation, n)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+
+	fail := func(err error) {
+		// Secondary cancellation errors are noise; keep the root cause.
+		if err == nil || errors.Is(err, context.Canceled) {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel(err)
+	}
+
+	start := time.Now()
+	cpu0 := processCPU()
+	for _, w := range c.hosted {
+		for i := range plan.Exchanges {
+			wg.Add(1)
+			go func(spec *ExchangeSpec, w int) {
+				defer wg.Done()
+				if err := e.runExchange(spec, w); err != nil {
+					fail(err)
+				}
+			}(&plan.Exchanges[i], w)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			frag, err := e.runRoot(plan.Root, w)
+			if err != nil {
+				fail(err)
+				return
+			}
+			frags[w] = frag
+		}(w)
+	}
+
+	wg.Wait()
+	report := e.metrics.report(time.Since(start))
+	report.CPUTime = processCPU() - cpu0
+
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err != nil {
+		return nil, report, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, report, err
+	}
+	return frags, report, nil
+}
+
+// runRoot drains the root tree on one worker into a result fragment.
+func (e *exec) runRoot(root Node, w int) (*rel.Relation, error) {
+	t := &task{ex: e, worker: w}
+	start := time.Now()
+	defer func() {
+		e.metrics.addBusy(w, time.Since(start)-t.wait)
+	}()
+
+	op, err := e.compile(root, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.open(); err != nil {
+		return nil, err
+	}
+	defer op.close()
+
+	out := &rel.Relation{Name: "result", Schema: op.schema().Clone()}
+	for {
+		b, err := op.next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, b...)
+	}
+}

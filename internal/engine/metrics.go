@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics collects, per query run, the quantities the paper's evaluation
+// reports: tuples sent and received per exchange (from which producer and
+// consumer skew derive), per-worker busy time (the stand-in for CPU time),
+// and phase timings (sort vs join) for the Tributary join.
+type Metrics struct {
+	mu sync.Mutex
+
+	workers   int
+	exchanges map[int]*ExchangeMetrics
+	busy      []time.Duration
+	sortTime  []time.Duration
+	joinTime  []time.Duration
+	processed []int64
+	sorted    []int64
+	seeks     []int64
+}
+
+// ExchangeMetrics counts one exchange's traffic.
+type ExchangeMetrics struct {
+	Name     string
+	Sent     []int64 // per producer worker
+	Received []int64 // per consumer worker
+}
+
+// NewMetrics creates metrics for n workers.
+func NewMetrics(n int) *Metrics {
+	return &Metrics{
+		workers:   n,
+		exchanges: make(map[int]*ExchangeMetrics),
+		busy:      make([]time.Duration, n),
+		sortTime:  make([]time.Duration, n),
+		joinTime:  make([]time.Duration, n),
+		processed: make([]int64, n),
+		sorted:    make([]int64, n),
+		seeks:     make([]int64, n),
+	}
+}
+
+func (m *Metrics) exchange(id int, name string) *ExchangeMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.exchanges[id]
+	if !ok {
+		em = &ExchangeMetrics{
+			Name:     name,
+			Sent:     make([]int64, m.workers),
+			Received: make([]int64, m.workers),
+		}
+		m.exchanges[id] = em
+	}
+	if name != "" && em.Name == "" {
+		em.Name = name
+	}
+	return em
+}
+
+func (m *Metrics) addSent(id int, name string, worker int, n int64) {
+	em := m.exchange(id, name)
+	m.mu.Lock()
+	em.Sent[worker] += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addReceived(id, worker int, n int64) {
+	em := m.exchange(id, "")
+	m.mu.Lock()
+	em.Received[worker] += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addBusy(worker int, d time.Duration) {
+	m.mu.Lock()
+	m.busy[worker] += d
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addSort(worker int, d time.Duration) {
+	m.mu.Lock()
+	m.sortTime[worker] += d
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addJoin(worker int, d time.Duration) {
+	m.mu.Lock()
+	m.joinTime[worker] += d
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addProcessed(worker int, n int64) {
+	m.mu.Lock()
+	m.processed[worker] += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addSorted(worker int, n int64) {
+	m.mu.Lock()
+	m.sorted[worker] += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addSeeks(worker int, n int64) {
+	m.mu.Lock()
+	m.seeks[worker] += n
+	m.mu.Unlock()
+}
+
+// Report is an immutable snapshot of a finished run's metrics.
+type Report struct {
+	Workers int
+	// WallTime is the end-to-end query time.
+	WallTime time.Duration
+	// CPUTime is the process CPU (user+system) consumed by the run — the
+	// honest "total CPU time" of the paper's figures. Zero on platforms
+	// without rusage.
+	CPUTime time.Duration
+	// BusyTime is per-worker wall time spent outside transport waits. It
+	// drives the skew and utilization views; when the host has fewer cores
+	// than workers it overstates absolute work (runnable-but-descheduled
+	// time counts), so totals should come from CPUTime.
+	BusyTime []time.Duration
+	// SortTime and JoinTime break down the Tributary join phases (Table 5).
+	SortTime []time.Duration
+	JoinTime []time.Duration
+	// Processed counts tuples entering each worker's operators (scans plus
+	// exchange receipts) — a deterministic per-worker load measure that,
+	// unlike busy time, is immune to host-core oversubscription.
+	Processed []int64
+	// Sorted counts tuples each worker's Tributary joins sorted; Seeks
+	// counts their trie searches. Both are deterministic work measures.
+	Sorted []int64
+	Seeks  []int64
+	// Exchanges lists per-exchange traffic in plan order.
+	Exchanges []ExchangeReport
+}
+
+// ExchangeReport is the per-shuffle row of the paper's load-balance tables
+// (Tables 2–4): total tuples plus producer and consumer skew.
+type ExchangeReport struct {
+	ID           int
+	Name         string
+	TuplesSent   int64
+	ProducerSkew float64
+	ConsumerSkew float64
+	Received     []int64
+}
+
+// TotalTuplesShuffled sums traffic across all exchanges.
+func (r *Report) TotalTuplesShuffled() int64 {
+	var total int64
+	for _, e := range r.Exchanges {
+		total += e.TuplesSent
+	}
+	return total
+}
+
+// TotalBusy sums per-worker busy time.
+func (r *Report) TotalBusy() time.Duration {
+	var total time.Duration
+	for _, d := range r.BusyTime {
+		total += d
+	}
+	return total
+}
+
+// TotalCPU returns the run's total CPU time: the measured process CPU when
+// available, otherwise the busy-time sum.
+func (r *Report) TotalCPU() time.Duration {
+	if r.CPUTime > 0 {
+		return r.CPUTime
+	}
+	return r.TotalBusy()
+}
+
+// MaxBusy returns the busiest worker's time — the straggler that determines
+// wall-clock time in a one-round plan.
+func (r *Report) MaxBusy() time.Duration {
+	var max time.Duration
+	for _, d := range r.BusyTime {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// BusySkew is max/avg busy time across workers.
+func (r *Report) BusySkew() float64 {
+	if r.TotalBusy() == 0 {
+		return 1
+	}
+	avg := float64(r.TotalBusy()) / float64(r.Workers)
+	return float64(r.MaxBusy()) / avg
+}
+
+// MaxProcessed returns the largest per-worker processed-tuple count — the
+// deterministic analogue of the slowest worker's load.
+func (r *Report) MaxProcessed() int64 {
+	var max int64
+	for _, p := range r.Processed {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// MaxConsumerSkew returns the largest consumer skew across exchanges — the
+// "RS Skew (max)" column of Table 6. Exchanges carrying fewer than a
+// handful of tuples per worker are ignored: a one-tuple shuffle trivially
+// lands on one worker (skew = N) without telling us anything about balance.
+func (r *Report) MaxConsumerSkew() float64 {
+	max := 0.0
+	for _, e := range r.Exchanges {
+		if e.TuplesSent < 4*int64(r.Workers) {
+			continue
+		}
+		if e.ConsumerSkew > max {
+			max = e.ConsumerSkew
+		}
+	}
+	return max
+}
+
+func (m *Metrics) report(wall time.Duration) *Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := &Report{
+		Workers:   m.workers,
+		WallTime:  wall,
+		BusyTime:  append([]time.Duration(nil), m.busy...),
+		SortTime:  append([]time.Duration(nil), m.sortTime...),
+		JoinTime:  append([]time.Duration(nil), m.joinTime...),
+		Processed: append([]int64(nil), m.processed...),
+		Sorted:    append([]int64(nil), m.sorted...),
+		Seeks:     append([]int64(nil), m.seeks...),
+	}
+	ids := make([]int, 0, len(m.exchanges))
+	for id := range m.exchanges {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		em := m.exchanges[id]
+		er := ExchangeReport{
+			ID:       id,
+			Name:     em.Name,
+			Received: append([]int64(nil), em.Received...),
+		}
+		var sentMax, recvMax int64
+		var recvTotal int64
+		for _, s := range em.Sent {
+			er.TuplesSent += s
+			if s > sentMax {
+				sentMax = s
+			}
+		}
+		for _, rcv := range em.Received {
+			recvTotal += rcv
+			if rcv > recvMax {
+				recvMax = rcv
+			}
+		}
+		er.ProducerSkew = skew(sentMax, er.TuplesSent, m.workers)
+		er.ConsumerSkew = skew(recvMax, recvTotal, m.workers)
+		r.Exchanges = append(r.Exchanges, er)
+	}
+	return r
+}
+
+// skew is the max/average ratio, 1 when there is no traffic.
+func skew(max, total int64, workers int) float64 {
+	if total == 0 {
+		return 1
+	}
+	avg := float64(total) / float64(workers)
+	return float64(max) / avg
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("wall=%v cpu=%v shuffled=%d tuples over %d exchanges (consumer skew ≤ %.2f)",
+		r.WallTime, r.TotalBusy(), r.TotalTuplesShuffled(), len(r.Exchanges), r.MaxConsumerSkew())
+}

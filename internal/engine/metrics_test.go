@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSkewHelper(t *testing.T) {
+	if got := skew(0, 0, 4); got != 1 {
+		t.Errorf("no traffic skew = %f, want 1", got)
+	}
+	if got := skew(100, 100, 4); got != 4 {
+		t.Errorf("all-on-one skew = %f, want 4", got)
+	}
+	if got := skew(25, 100, 4); got != 1 {
+		t.Errorf("balanced skew = %f, want 1", got)
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	r := &Report{
+		Workers:  4,
+		CPUTime:  3 * time.Second,
+		BusyTime: []time.Duration{time.Second, 2 * time.Second, time.Second, 0},
+		Processed: []int64{10, 40, 20, 30},
+		Exchanges: []ExchangeReport{
+			{TuplesSent: 100, ConsumerSkew: 2.5},
+			{TuplesSent: 3, ConsumerSkew: 4.0}, // tiny: excluded from skew
+		},
+	}
+	if r.TotalTuplesShuffled() != 103 {
+		t.Errorf("total shuffled = %d", r.TotalTuplesShuffled())
+	}
+	if r.TotalBusy() != 4*time.Second {
+		t.Errorf("total busy = %v", r.TotalBusy())
+	}
+	if r.TotalCPU() != 3*time.Second {
+		t.Errorf("TotalCPU should prefer measured process CPU, got %v", r.TotalCPU())
+	}
+	if r.MaxBusy() != 2*time.Second {
+		t.Errorf("max busy = %v", r.MaxBusy())
+	}
+	if r.BusySkew() != 2 {
+		t.Errorf("busy skew = %f, want 2", r.BusySkew())
+	}
+	if r.MaxProcessed() != 40 {
+		t.Errorf("max processed = %d", r.MaxProcessed())
+	}
+	// The 3-tuple exchange (below 4×workers) must not dominate the skew.
+	if got := r.MaxConsumerSkew(); got != 2.5 {
+		t.Errorf("MaxConsumerSkew = %f, want 2.5 (tiny exchange excluded)", got)
+	}
+	if s := r.String(); !strings.Contains(s, "shuffled=103") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestReportCPUFallback(t *testing.T) {
+	r := &Report{
+		Workers:  2,
+		BusyTime: []time.Duration{time.Second, time.Second},
+	}
+	if r.TotalCPU() != 2*time.Second {
+		t.Errorf("TotalCPU without process measurement should fall back to busy sum, got %v", r.TotalCPU())
+	}
+}
+
+func TestBusySkewNoWork(t *testing.T) {
+	r := &Report{Workers: 4, BusyTime: make([]time.Duration, 4)}
+	if r.BusySkew() != 1 {
+		t.Errorf("idle cluster busy skew = %f, want 1", r.BusySkew())
+	}
+}
+
+func TestProcessCPUAdvances(t *testing.T) {
+	a := processCPU()
+	// Burn a little CPU.
+	x := 0
+	for i := 0; i < 10_000_000; i++ {
+		x += i
+	}
+	_ = x
+	b := processCPU()
+	if b < a {
+		t.Fatalf("process CPU went backwards: %v -> %v", a, b)
+	}
+}

@@ -1,0 +1,462 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/ljoin"
+	"parajoin/internal/rel"
+)
+
+// ErrOutOfMemory is returned when a worker's materialized state exceeds the
+// cluster's MaxLocalTuples budget — the condition reported as FAIL for
+// RS_TJ on Q4 and Q5 in the paper.
+var ErrOutOfMemory = errors.New("engine: worker memory budget exceeded")
+
+// operator is the runtime iterator all plan nodes compile to. Next returns
+// io.EOF after the last batch.
+type operator interface {
+	schema() rel.Schema
+	open() error
+	next() ([]rel.Tuple, error)
+	close() error
+}
+
+// task groups the per-task state operators need: the worker, the run-wide
+// executor, and the wait accumulator used to subtract transport stalls from
+// busy time.
+type task struct {
+	ex     *exec
+	worker int
+	wait   time.Duration
+}
+
+// ---------------------------------------------------------------- scan
+
+type scanOp struct {
+	t     *task
+	table string
+	sch   rel.Schema
+	rows  []rel.Tuple
+	pos   int
+}
+
+func (o *scanOp) schema() rel.Schema { return o.sch }
+
+func (o *scanOp) open() error {
+	frag := o.t.ex.cluster.Fragment(o.t.worker, o.table)
+	if frag == nil {
+		return fmt.Errorf("engine: worker %d has no fragment of %q", o.t.worker, o.table)
+	}
+	o.rows = frag.Tuples
+	return nil
+}
+
+func (o *scanOp) next() ([]rel.Tuple, error) {
+	if o.pos >= len(o.rows) {
+		return nil, io.EOF
+	}
+	end := o.pos + o.t.ex.batchSize
+	if end > len(o.rows) {
+		end = len(o.rows)
+	}
+	b := o.rows[o.pos:end]
+	o.pos = end
+	o.t.ex.metrics.addProcessed(o.t.worker, int64(len(b)))
+	return b, nil
+}
+
+func (o *scanOp) close() error { return nil }
+
+// ---------------------------------------------------------------- select
+
+type selectOp struct {
+	in      operator
+	sch     rel.Schema
+	filters []compiledFilter
+}
+
+type compiledFilter struct {
+	left  int
+	op    core.CmpOp
+	right int // column index, or -1 for constant
+	c     int64
+}
+
+func (o *selectOp) schema() rel.Schema { return o.sch }
+func (o *selectOp) open() error        { return o.in.open() }
+func (o *selectOp) close() error       { return o.in.close() }
+
+func (o *selectOp) next() ([]rel.Tuple, error) {
+	for {
+		b, err := o.in.next()
+		if err != nil {
+			return nil, err
+		}
+		out := b[:0:0]
+		for _, t := range b {
+			keep := true
+			for _, f := range o.filters {
+				right := f.c
+				if f.right >= 0 {
+					right = t[f.right]
+				}
+				if !f.op.Eval(t[f.left], right) {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------- project
+
+type projectOp struct {
+	t     *task
+	in    operator
+	sch   rel.Schema
+	cols  []int
+	dedup bool
+	seen  map[string]struct{}
+	buf   []byte
+}
+
+func (o *projectOp) schema() rel.Schema { return o.sch }
+
+func (o *projectOp) open() error {
+	if o.dedup {
+		o.seen = make(map[string]struct{})
+		o.buf = make([]byte, 8*len(o.cols))
+	}
+	return o.in.open()
+}
+
+func (o *projectOp) close() error { return o.in.close() }
+
+func (o *projectOp) next() ([]rel.Tuple, error) {
+	for {
+		b, err := o.in.next()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]rel.Tuple, 0, len(b))
+		for _, t := range b {
+			p := t.Project(o.cols)
+			if o.dedup {
+				k := tupleKey(p, o.buf)
+				if _, ok := o.seen[k]; ok {
+					continue
+				}
+				o.seen[k] = struct{}{}
+				if err := o.t.ex.alloc(o.t.worker, 1); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, p)
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func tupleKey(t rel.Tuple, buf []byte) string {
+	for i, v := range t {
+		le(buf[8*i:], uint64(v))
+	}
+	return string(buf[:8*len(t)])
+}
+
+func le(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// ---------------------------------------------------------------- hash join
+
+// hashJoinOp is the symmetric (pipelined) hash join: hash tables on both
+// sides, each arriving batch inserted into its side's table and probed
+// against the other. Inputs are pulled round-robin; when one side is
+// exhausted the other is drained — the paper's "if one input does not have
+// any data, the join pulls the other input".
+type hashJoinOp struct {
+	t           *task
+	left, right operator
+	lCols       []int
+	rCols       []int
+	sch         rel.Schema
+	rKeep       []int
+
+	// Single-column keys use the int64-keyed tables (no per-tuple key
+	// allocation); multi-column keys fall back to packed-string keys.
+	lTable, rTable   map[string][]rel.Tuple
+	lTable1, rTable1 map[int64][]rel.Tuple
+	buf              []byte
+	pending          []rel.Tuple
+	turn             int // 0 = pull left next, 1 = right
+	lDone, rDone     bool
+}
+
+func (o *hashJoinOp) schema() rel.Schema { return o.sch }
+
+func (o *hashJoinOp) open() error {
+	if len(o.lCols) == 1 {
+		o.lTable1 = make(map[int64][]rel.Tuple)
+		o.rTable1 = make(map[int64][]rel.Tuple)
+	} else {
+		o.lTable = make(map[string][]rel.Tuple)
+		o.rTable = make(map[string][]rel.Tuple)
+		o.buf = make([]byte, 8*len(o.lCols))
+	}
+	if err := o.left.open(); err != nil {
+		return err
+	}
+	return o.right.open()
+}
+
+func (o *hashJoinOp) close() error {
+	err1 := o.left.close()
+	err2 := o.right.close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (o *hashJoinOp) emit(left, right rel.Tuple) {
+	row := make(rel.Tuple, 0, len(o.sch))
+	row = append(row, left...)
+	for _, c := range o.rKeep {
+		row = append(row, right[c])
+	}
+	o.pending = append(o.pending, row)
+}
+
+func (o *hashJoinOp) next() ([]rel.Tuple, error) {
+	for {
+		if len(o.pending) > 0 {
+			b := o.pending
+			if len(b) > o.t.ex.batchSize {
+				b = o.pending[:o.t.ex.batchSize]
+				o.pending = o.pending[o.t.ex.batchSize:]
+			} else {
+				o.pending = nil
+			}
+			return b, nil
+		}
+		if o.lDone && o.rDone {
+			return nil, io.EOF
+		}
+		side := o.turn
+		if side == 0 && o.lDone {
+			side = 1
+		}
+		if side == 1 && o.rDone {
+			side = 0
+		}
+		o.turn = 1 - side
+
+		if side == 0 {
+			b, err := o.left.next()
+			if err == io.EOF {
+				o.lDone = true
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			if o.lTable1 != nil {
+				c := o.lCols[0]
+				for _, t := range b {
+					k := t[c]
+					o.lTable1[k] = append(o.lTable1[k], t)
+					for _, m := range o.rTable1[k] {
+						o.emit(t, m)
+					}
+				}
+			} else {
+				for _, t := range b {
+					k := joinKeyCols(t, o.lCols, o.buf)
+					o.lTable[k] = append(o.lTable[k], t)
+					for _, m := range o.rTable[k] {
+						o.emit(t, m)
+					}
+				}
+			}
+			o.t.ex.metrics.addJoin(o.t.worker, time.Since(t0))
+		} else {
+			b, err := o.right.next()
+			if err == io.EOF {
+				o.rDone = true
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			if o.rTable1 != nil {
+				c := o.rCols[0]
+				for _, t := range b {
+					k := t[c]
+					o.rTable1[k] = append(o.rTable1[k], t)
+					for _, m := range o.lTable1[k] {
+						o.emit(m, t)
+					}
+				}
+			} else {
+				for _, t := range b {
+					k := joinKeyCols(t, o.rCols, o.buf)
+					o.rTable[k] = append(o.rTable[k], t)
+					for _, m := range o.lTable[k] {
+						o.emit(m, t)
+					}
+				}
+			}
+			o.t.ex.metrics.addJoin(o.t.worker, time.Since(t0))
+		}
+	}
+}
+
+func joinKeyCols(t rel.Tuple, cols []int, buf []byte) string {
+	for i, c := range cols {
+		le(buf[8*i:], uint64(t[c]))
+	}
+	return string(buf[:8*len(cols)])
+}
+
+// ---------------------------------------------------------------- tributary
+
+// tributaryOp materializes its inputs (the post-shuffle fragments of every
+// atom), sorts them (metered as sort time), runs the Tributary join
+// (metered as join time), and streams the result.
+type tributaryOp struct {
+	t       *task
+	q       *core.Query
+	inputs  map[string]operator
+	order   []core.Var
+	mode    ljoin.SeekMode
+	sch     rel.Schema
+	results []rel.Tuple
+	pos     int
+}
+
+func (o *tributaryOp) schema() rel.Schema { return o.sch }
+
+func (o *tributaryOp) open() error {
+	rels := make(map[string]*rel.Relation, len(o.inputs))
+	for alias, in := range o.inputs {
+		if err := in.open(); err != nil {
+			return err
+		}
+		r := &rel.Relation{Name: alias, Schema: in.schema().Clone()}
+		for {
+			b, err := in.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+				return err
+			}
+			r.Tuples = append(r.Tuples, b...)
+		}
+		if err := in.close(); err != nil {
+			return err
+		}
+		rels[alias] = r
+	}
+
+	var inputTuples int64
+	for _, r := range rels {
+		inputTuples += int64(r.Cardinality())
+	}
+	sortStart := time.Now()
+	p, err := ljoin.Prepare(o.q, rels, o.order, o.mode)
+	if err != nil {
+		return err
+	}
+	o.t.ex.metrics.addSort(o.t.worker, time.Since(sortStart))
+	o.t.ex.metrics.addSorted(o.t.worker, inputTuples)
+
+	joinStart := time.Now()
+	runErr := p.Run(func(t rel.Tuple) bool {
+		if o.t.ex.alloc(o.t.worker, 1) != nil {
+			return false // stop early; memErr below reports the budget breach
+		}
+		o.results = append(o.results, t.Clone())
+		return true
+	})
+	o.t.ex.metrics.addJoin(o.t.worker, time.Since(joinStart))
+	o.t.ex.metrics.addSeeks(o.t.worker, p.Stats().Seeks)
+	if runErr != nil {
+		return runErr
+	}
+	return o.t.ex.memErr(o.t.worker)
+}
+
+func (o *tributaryOp) next() ([]rel.Tuple, error) {
+	if o.pos >= len(o.results) {
+		return nil, io.EOF
+	}
+	end := o.pos + o.t.ex.batchSize
+	if end > len(o.results) {
+		end = len(o.results)
+	}
+	b := o.results[o.pos:end]
+	o.pos = end
+	return b, nil
+}
+
+func (o *tributaryOp) close() error { return nil }
+
+// ---------------------------------------------------------------- recv
+
+type recvOp struct {
+	t        *task
+	exchange int
+	sch      rel.Schema
+}
+
+func (o *recvOp) schema() rel.Schema { return o.sch }
+func (o *recvOp) open() error        { return nil }
+func (o *recvOp) close() error       { return nil }
+
+func (o *recvOp) next() ([]rel.Tuple, error) {
+	start := time.Now()
+	b, ok, err := o.t.ex.transport.Recv(o.t.ex.ctx, o.t.ex.wireID(o.exchange), o.t.worker)
+	o.t.wait += time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, io.EOF
+	}
+	o.t.ex.metrics.addReceived(o.exchange, o.t.worker, int64(len(b)))
+	o.t.ex.metrics.addProcessed(o.t.worker, int64(len(b)))
+	return b, nil
+}

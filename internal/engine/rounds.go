@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"parajoin/internal/rel"
+)
+
+// Round is one communication round of a multi-round plan (the Yannakakis
+// semijoin reduction runs many). A non-empty StoreAs materializes the
+// round's per-worker result fragments into worker storage under that name
+// for later rounds to Scan; the final round leaves StoreAs empty and its
+// result is the query answer.
+type Round struct {
+	Name    string
+	Plan    *Plan
+	StoreAs string
+}
+
+// RunRounds executes rounds in order, materializing intermediate results
+// and merging metrics. Temporary relations created by StoreAs are dropped
+// afterwards. The last round must have StoreAs == "".
+func (c *Cluster) RunRounds(ctx context.Context, rounds []Round) (*rel.Relation, *Report, error) {
+	if len(rounds) == 0 {
+		return nil, nil, fmt.Errorf("engine: no rounds")
+	}
+	if rounds[len(rounds)-1].StoreAs != "" {
+		return nil, nil, fmt.Errorf("engine: final round must not store its result")
+	}
+	var temps []string
+	defer func() {
+		for _, name := range temps {
+			c.Drop(name)
+		}
+	}()
+
+	var combined *Report
+	for i, round := range rounds {
+		frags, report, err := c.RunFragments(ctx, round.Plan)
+		combined = mergeReports(combined, report)
+		if err != nil {
+			return nil, combined, fmt.Errorf("engine: round %d (%s): %w", i, round.Name, err)
+		}
+		if round.StoreAs != "" {
+			for _, f := range frags {
+				if f != nil { // unhosted workers have no fragment here
+					f.Name = round.StoreAs
+				}
+			}
+			c.LoadFragments(round.StoreAs, frags)
+			temps = append(temps, round.StoreAs)
+			continue
+		}
+		return rel.Concat("result", frags), combined, nil
+	}
+	panic("unreachable")
+}
+
+// mergeReports folds b into a: traffic counters append (exchange ids are
+// offset to stay unique), time counters add, wall times add (rounds run
+// sequentially).
+func mergeReports(a, b *Report) *Report {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		return b
+	}
+	out := &Report{
+		Workers:   a.Workers,
+		WallTime:  a.WallTime + b.WallTime,
+		CPUTime:   a.CPUTime + b.CPUTime,
+		BusyTime:  append([]time.Duration(nil), a.BusyTime...),
+		SortTime:  append([]time.Duration(nil), a.SortTime...),
+		JoinTime:  append([]time.Duration(nil), a.JoinTime...),
+		Processed: append([]int64(nil), a.Processed...),
+		Sorted:    append([]int64(nil), a.Sorted...),
+		Seeks:     append([]int64(nil), a.Seeks...),
+	}
+	for i := range out.BusyTime {
+		out.BusyTime[i] += b.BusyTime[i]
+		out.SortTime[i] += b.SortTime[i]
+		out.JoinTime[i] += b.JoinTime[i]
+		out.Processed[i] += b.Processed[i]
+		out.Sorted[i] += b.Sorted[i]
+		out.Seeks[i] += b.Seeks[i]
+	}
+	out.Exchanges = append(out.Exchanges, a.Exchanges...)
+	offset := 0
+	for _, e := range a.Exchanges {
+		if e.ID >= offset {
+			offset = e.ID + 1
+		}
+	}
+	for _, e := range b.Exchanges {
+		e.ID += offset
+		out.Exchanges = append(out.Exchanges, e)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"parajoin/internal/rel"
+)
+
+// SemiJoin keeps the Left tuples that match at least one Right tuple on
+// LeftCols = RightCols — the building block of the distributed Yannakakis
+// reduction (Section 3.6 of the paper). Right is drained first (it is the
+// projected, deduplicated key set), then Left streams through the filter.
+type SemiJoin struct {
+	Left, Right         Node
+	LeftCols, RightCols []string
+}
+
+func (SemiJoin) node() {}
+
+type semiJoinOp struct {
+	t           *task
+	left, right operator
+	lCols       []int
+	rCols       []int
+	sch         rel.Schema
+	keys        map[string]struct{}
+	buf         []byte
+}
+
+func (o *semiJoinOp) schema() rel.Schema { return o.sch }
+
+func (o *semiJoinOp) open() error {
+	if err := o.right.open(); err != nil {
+		return err
+	}
+	o.keys = make(map[string]struct{})
+	o.buf = make([]byte, 8*len(o.rCols))
+	for {
+		b, err := o.right.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, t := range b {
+			k := joinKeyCols(t, o.rCols, o.buf)
+			if _, ok := o.keys[k]; !ok {
+				if err := o.t.ex.alloc(o.t.worker, 1); err != nil {
+					return err
+				}
+				o.keys[k] = struct{}{}
+			}
+		}
+	}
+	if err := o.right.close(); err != nil {
+		return err
+	}
+	return o.left.open()
+}
+
+func (o *semiJoinOp) next() ([]rel.Tuple, error) {
+	for {
+		b, err := o.left.next()
+		if err != nil {
+			return nil, err
+		}
+		out := b[:0:0]
+		for _, t := range b {
+			if _, ok := o.keys[joinKeyCols(t, o.lCols, o.buf)]; ok {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (o *semiJoinOp) close() error { return o.left.close() }
+
+// compileSemiJoin is called from exec.compile.
+func (e *exec) compileSemiJoin(v SemiJoin, t *task) (operator, error) {
+	left, err := e.compile(v.Left, t)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.compile(v.Right, t)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.LeftCols) != len(v.RightCols) || len(v.LeftCols) == 0 {
+		return nil, fmt.Errorf("engine: semijoin keys %v vs %v", v.LeftCols, v.RightCols)
+	}
+	op := &semiJoinOp{t: t, left: left, right: right, sch: left.schema().Clone()}
+	for _, c := range v.LeftCols {
+		i := left.schema().IndexOf(c)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: semijoin column %q not in left %v", c, left.schema())
+		}
+		op.lCols = append(op.lCols, i)
+	}
+	for _, c := range v.RightCols {
+		i := right.schema().IndexOf(c)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: semijoin column %q not in right %v", c, right.schema())
+		}
+		op.rCols = append(op.rCols, i)
+	}
+	return op, nil
+}

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"parajoin/internal/rel"
+)
+
+// TCPTransport is the wire implementation of Transport: workers exchange
+// gob-encoded tuple frames over TCP connections. A transport instance hosts
+// one or more workers of the cluster (all of them for a single-process
+// loopback cluster, one per process for a real deployment) and dials peers
+// lazily.
+//
+// Framing is one gob stream per (sender-process → receiver-worker-host)
+// connection carrying frames of the form {Exchange, Src, Dst, Close,
+// Tuples}.
+type TCPTransport struct {
+	n      int
+	addrs  []string
+	hosted map[int]bool
+
+	listeners []net.Listener
+	acceptWG  sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[string]*tcpConn // peer address -> connection
+	inbox  map[inboxKey]*memQueue
+	closed bool
+}
+
+type inboxKey struct {
+	exchange int
+	worker   int
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// frame is the wire unit.
+type frame struct {
+	Exchange int
+	Src      int
+	Dst      int
+	Close    bool
+	Tuples   [][]int64
+}
+
+// NewTCPTransport starts a transport hosting the given workers. addrs[i] is
+// worker i's listen address; hosted workers are bound immediately (pass
+// port 0 addresses to let the OS pick — see Addrs). Every worker of the
+// cluster must be hosted by exactly one process.
+func NewTCPTransport(addrs []string, hosted []int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		n:      len(addrs),
+		addrs:  append([]string(nil), addrs...),
+		hosted: make(map[int]bool, len(hosted)),
+		conns:  make(map[string]*tcpConn),
+		inbox:  make(map[inboxKey]*memQueue),
+	}
+	t.listeners = make([]net.Listener, t.n)
+	for _, w := range hosted {
+		if w < 0 || w >= t.n {
+			return nil, fmt.Errorf("engine: hosted worker %d out of range", w)
+		}
+		t.hosted[w] = true
+		l, err := net.Listen("tcp", t.addrs[w])
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("engine: listen for worker %d: %w", w, err)
+		}
+		t.listeners[w] = l
+		t.addrs[w] = l.Addr().String()
+		t.acceptWG.Add(1)
+		go t.acceptLoop(l)
+	}
+	return t, nil
+}
+
+// Addrs returns the resolved listen addresses (useful with ":0" listeners).
+func (t *TCPTransport) Addrs() []string {
+	return append([]string(nil), t.addrs...)
+}
+
+// SetPeerAddrs updates the worker address table — used in multi-process
+// deployments where peers bind OS-assigned ports after this transport was
+// created. Call before the first Send; addresses of workers hosted here are
+// left untouched.
+func (t *TCPTransport) SetPeerAddrs(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range addrs {
+		if i < len(t.addrs) && !t.hosted[i] {
+			t.addrs[i] = a
+		}
+	}
+}
+
+func (t *TCPTransport) acceptLoop(l net.Listener) {
+	defer t.acceptWG.Done()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	dec := gob.NewDecoder(c)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.Close()
+			return
+		}
+		q := t.queue(f.Exchange, f.Dst)
+		if f.Close {
+			q.closeOne()
+			continue
+		}
+		batch := make([]rel.Tuple, len(f.Tuples))
+		for i, tu := range f.Tuples {
+			batch[i] = rel.Tuple(tu)
+		}
+		q.push(batch)
+	}
+}
+
+func (t *TCPTransport) queue(exchange, worker int) *memQueue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := inboxKey{exchange, worker}
+	q, ok := t.inbox[k]
+	if !ok {
+		q = newMemQueue(t.n)
+		t.inbox[k] = q
+	}
+	return q
+}
+
+func (t *TCPTransport) conn(addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("engine: transport closed")
+	}
+	tc, ok := t.conns[addr]
+	t.mu.Unlock()
+	if ok {
+		return tc, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: dial %s: %w", addr, err)
+	}
+	tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	t.mu.Lock()
+	if prev, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		c.Close()
+		return prev, nil
+	}
+	t.conns[addr] = tc
+	t.mu.Unlock()
+	return tc, nil
+}
+
+func (t *TCPTransport) send(f *frame, addr string) error {
+	tc, err := t.conn(addr)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.enc.Encode(f)
+}
+
+// Send implements Transport. Frames always travel over TCP, even between
+// workers hosted by the same process, so loopback clusters exercise the
+// full wire path.
+func (t *TCPTransport) Send(ctx context.Context, exchangeID, src, dst int, batch []rel.Tuple) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tuples := make([][]int64, len(batch))
+	for i, tu := range batch {
+		tuples[i] = []int64(tu)
+	}
+	return t.send(&frame{Exchange: exchangeID, Src: src, Dst: dst, Tuples: tuples}, t.addrs[dst])
+}
+
+// CloseSend implements Transport.
+func (t *TCPTransport) CloseSend(ctx context.Context, exchangeID, src int) error {
+	var firstErr error
+	for dst := 0; dst < t.n; dst++ {
+		err := t.send(&frame{Exchange: exchangeID, Src: src, Dst: dst, Close: true}, t.addrs[dst])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Recv implements Transport. Only hosted workers may receive.
+func (t *TCPTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tuple, bool, error) {
+	if !t.hosted[dst] {
+		return nil, false, fmt.Errorf("engine: worker %d is not hosted by this transport", dst)
+	}
+	q := t.queue(exchangeID, dst)
+	stop := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
+	defer stop()
+	b, ok, err := q.pop(ctx.Done())
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, false, cerr
+		}
+		return nil, false, err
+	}
+	return b, ok, nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*tcpConn{}
+	for _, q := range t.inbox {
+		q.cond.Broadcast()
+	}
+	t.mu.Unlock()
+	for _, l := range t.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	t.acceptWG.Wait()
+	return nil
+}

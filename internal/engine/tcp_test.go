@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/ljoin"
+	"parajoin/internal/rel"
+)
+
+// loopbackCluster builds an n-worker cluster whose exchanges travel over
+// real TCP loopback sockets.
+func loopbackCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	addrs := make([]string, n)
+	hosted := make([]int, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+		hosted[i] = i
+	}
+	tr, err := NewTCPTransport(addrs, hosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClusterWithTransport(n, tr)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTCPShufflePreservesBag(t *testing.T) {
+	c := loopbackCluster(t, 3)
+	r := randGraph("R", 500, 60, 41)
+	c.Load(r)
+	got, report, err := c.Run(context.Background(), shuffleGather("R", []string{"dst"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Fatalf("TCP shuffle changed the bag: %d vs %d", got.Cardinality(), r.Cardinality())
+	}
+	if report.TotalTuplesShuffled() != int64(r.Cardinality()) {
+		t.Fatalf("metered %d tuples, want %d", report.TotalTuplesShuffled(), r.Cardinality())
+	}
+}
+
+func TestTCPJoinPlanMatchesNaive(t *testing.T) {
+	c := loopbackCluster(t, 4)
+	r := randGraph("R", 300, 40, 42)
+	s := randGraph("S", 300, 40, 43)
+	c.Load(r)
+	c.Load(s)
+	got, _, err := c.Run(context.Background(), rsJoinPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.MustQuery("Path", nil, []core.Atom{
+		core.NewAtom("R", core.V("x"), core.V("y")),
+		core.NewAtom("S", core.V("y"), core.V("z")),
+	})
+	want, _ := ljoin.NaiveEvaluate(q, map[string]*rel.Relation{"R": r, "S": s})
+	got.Dedup()
+	if !got.Equal(want) {
+		t.Fatalf("TCP join: %d tuples, naive %d", got.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestTCPRecvUnhostedWorker(t *testing.T) {
+	tr, err := NewTCPTransport([]string{"127.0.0.1:0", "127.0.0.1:0"}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, _, err := tr.Recv(context.Background(), 0, 1); err == nil {
+		t.Fatal("receiving for an unhosted worker should fail")
+	}
+}
+
+func TestTCPAddrsResolved(t *testing.T) {
+	tr, err := NewTCPTransport([]string{"127.0.0.1:0"}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Addrs()[0] == "127.0.0.1:0" {
+		t.Fatal("listen address was not resolved")
+	}
+}

@@ -1,0 +1,170 @@
+// Package engine is parajoin's shared-nothing parallel execution engine: N
+// workers, each with private storage, exchanging tuples through a pluggable
+// Transport. It plays the role Myria plays in the paper — the substrate the
+// shuffle and join algorithms run on — and it meters exactly the quantities
+// the paper's evaluation reports: tuples shuffled per exchange (with
+// producer and consumer skew) and per-worker busy time.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"parajoin/internal/rel"
+)
+
+// Transport moves tuple batches between workers. Implementations must allow
+// concurrent use from all workers. Queues are unbounded: a producer never
+// blocks on a slow consumer, which (together with pull-based consumers)
+// rules out exchange deadlocks by construction.
+type Transport interface {
+	// Send delivers a batch from worker src to worker dst on the given
+	// exchange. The callee owns the batch after the call.
+	Send(ctx context.Context, exchangeID, src, dst int, batch []rel.Tuple) error
+	// CloseSend signals that src will send nothing more on the exchange.
+	// Every worker must call it exactly once per exchange it produces for.
+	CloseSend(ctx context.Context, exchangeID, src int) error
+	// Recv returns the next batch destined to dst on the exchange. ok is
+	// false once every producer has closed and all batches were delivered.
+	Recv(ctx context.Context, exchangeID, dst int) (batch []rel.Tuple, ok bool, err error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// memQueue is an unbounded FIFO of batches with producer accounting.
+type memQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	batches [][]rel.Tuple
+	open    int // producers that have not closed yet
+}
+
+func newMemQueue(producers int) *memQueue {
+	q := &memQueue{open: producers}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *memQueue) push(batch []rel.Tuple) {
+	q.mu.Lock()
+	q.batches = append(q.batches, batch)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *memQueue) closeOne() {
+	q.mu.Lock()
+	q.open--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks until a batch is available or all producers closed. The done
+// channel aborts the wait.
+func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.batches) > 0 {
+			b := q.batches[0]
+			q.batches = q.batches[1:]
+			return b, true, nil
+		}
+		if q.open <= 0 {
+			return nil, false, nil
+		}
+		select {
+		case <-done:
+			return nil, false, context.Canceled
+		default:
+		}
+		q.cond.Wait()
+	}
+}
+
+// MemTransport is the in-process Transport: one unbounded queue per
+// (exchange, destination worker). It is the default for tests, benchmarks,
+// and the single-process engine; TCPTransport provides the wire version.
+type MemTransport struct {
+	workers int
+
+	mu     sync.Mutex
+	queues map[int][]*memQueue // exchangeID -> per-destination queues
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewMemTransport creates an in-memory transport for n workers.
+func NewMemTransport(n int) *MemTransport {
+	return &MemTransport{
+		workers: n,
+		queues:  make(map[int][]*memQueue),
+		done:    make(chan struct{}),
+	}
+}
+
+func (t *MemTransport) queue(exchangeID, dst int) *memQueue {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	qs, ok := t.queues[exchangeID]
+	if !ok {
+		qs = make([]*memQueue, t.workers)
+		for i := range qs {
+			qs[i] = newMemQueue(t.workers)
+		}
+		t.queues[exchangeID] = qs
+	}
+	return qs[dst]
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(ctx context.Context, exchangeID, src, dst int, batch []rel.Tuple) error {
+	if dst < 0 || dst >= t.workers {
+		return fmt.Errorf("engine: send to worker %d of %d", dst, t.workers)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t.queue(exchangeID, dst).push(batch)
+	return nil
+}
+
+// CloseSend implements Transport.
+func (t *MemTransport) CloseSend(ctx context.Context, exchangeID, src int) error {
+	for dst := 0; dst < t.workers; dst++ {
+		t.queue(exchangeID, dst).closeOne()
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *MemTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tuple, bool, error) {
+	q := t.queue(exchangeID, dst)
+	// Wake waiters when the context dies.
+	stop := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
+	defer stop()
+	b, ok, err := q.pop(ctx.Done())
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, false, cerr
+		}
+		return nil, false, err
+	}
+	return b, ok, nil
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.mu.Lock()
+		for _, qs := range t.queues {
+			for _, q := range qs {
+				q.cond.Broadcast()
+			}
+		}
+		t.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"parajoin/internal/planner"
+)
+
+// Scalability reproduces Figure 10: run Q1 (the triangle query) under
+// HC_TJ and RS_HJ at growing cluster sizes. On a real cluster the paper
+// plots wall-clock speedup; the quantity that drives it is the slowest
+// worker's load, which we report directly as the deterministic
+// MaxProcessed counter (this build's host may not have a core per worker,
+// so raw wall times are reported but not the headline).
+type Scalability struct {
+	Query string
+	Rows  []ScalabilityRow
+}
+
+// ScalabilityRow is one cluster size's measurements.
+type ScalabilityRow struct {
+	Workers int
+	// MaxLoadHC / MaxLoadRS are the slowest worker's processed-tuple count —
+	// the paper's panel (a) driver. Speedups are relative to the first row.
+	MaxLoadHC int64
+	MaxLoadRS int64
+	SpeedupHC float64
+	SpeedupRS float64
+	// HCShuffled is the HyperCube shuffle's total traffic (panel b).
+	HCShuffled int64
+	// SortedPerWorker and SeeksPerWorker are panel (c): the average
+	// worker's Tributary sort input and trie searches.
+	SortedPerWorker int64
+	SeeksPerWorker  int64
+	// Raw wall times for reference.
+	HCWall time.Duration
+	RSWall time.Duration
+}
+
+// Scalability runs the query at each cluster size (the paper uses 2, 4, 8,
+// 16, 32, 64).
+func (s *Suite) Scalability(queryName string, sizes ...int) (*Scalability, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 16, 32, 64}
+	}
+	out := &Scalability{Query: queryName}
+	for _, n := range sizes {
+		hc, err := s.RunConfig(queryName, planner.HCTJ, n)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := s.RunConfig(queryName, planner.RSHJ, n)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalabilityRow{Workers: n, HCWall: hc.Wall, RSWall: rs.Wall, HCShuffled: hc.Shuffled}
+		if hc.Report != nil {
+			row.MaxLoadHC = hc.Report.MaxProcessed()
+			var sorted, seeks int64
+			for w := range hc.Report.Sorted {
+				sorted += hc.Report.Sorted[w]
+				seeks += hc.Report.Seeks[w]
+			}
+			row.SortedPerWorker = sorted / int64(n)
+			row.SeeksPerWorker = seeks / int64(n)
+		}
+		if rs.Report != nil {
+			row.MaxLoadRS = rs.Report.MaxProcessed()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	base := out.Rows[0]
+	for i := range out.Rows {
+		if out.Rows[i].MaxLoadHC > 0 {
+			out.Rows[i].SpeedupHC = float64(base.MaxLoadHC) / float64(out.Rows[i].MaxLoadHC)
+		}
+		if out.Rows[i].MaxLoadRS > 0 {
+			out.Rows[i].SpeedupRS = float64(base.MaxLoadRS) / float64(out.Rows[i].MaxLoadRS)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the three panels of Figure 10.
+func (sc *Scalability) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: scalability of HC_TJ vs RS_HJ (Figure 10; speedup = slowest-worker load vs %d workers)\n",
+		sc.Query, sc.Rows[0].Workers)
+	fmt.Fprintf(w, "%8s %10s %10s %14s %14s %14s %12s %12s\n",
+		"workers", "HC spdup", "RS spdup", "HC shuffled", "sorted/worker", "seeks/worker", "HC wall", "RS wall")
+	for _, r := range sc.Rows {
+		fmt.Fprintf(w, "%8d %10.2f %10.2f %14d %14d %14d %12v %12v\n",
+			r.Workers, r.SpeedupHC, r.SpeedupRS, r.HCShuffled,
+			r.SortedPerWorker, r.SeeksPerWorker,
+			r.HCWall.Round(time.Microsecond), r.RSWall.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"parajoin/internal/planner"
+)
+
+// SemijoinStudy reproduces Section 3.6: compare the distributed Yannakakis
+// semijoin plan against the regular-shuffle and HyperCube plans on the
+// workload's acyclic queries (Q3 and Q7).
+type SemijoinStudy struct {
+	Rows []SemijoinRow
+}
+
+// SemijoinRow is one query's comparison.
+type SemijoinRow struct {
+	Query string
+	// Semijoin measurements.
+	SemiWall     time.Duration
+	SemiShuffled int64
+	SemiRounds   int
+	// Best regular-shuffle plan (RS_HJ vs RS_TJ) and HC_TJ for context.
+	RSWall     time.Duration
+	RSShuffled int64
+	HCWall     time.Duration
+	HCShuffled int64
+}
+
+// SemijoinStudy runs the comparison for the given acyclic queries.
+func (s *Suite) SemijoinStudy(queryNames ...string) (*SemijoinStudy, error) {
+	if len(queryNames) == 0 {
+		queryNames = []string{"Q3", "Q7"}
+	}
+	out := &SemijoinStudy{}
+	for _, name := range queryNames {
+		row := SemijoinRow{Query: name}
+		semi, err := s.RunConfig(name, planner.SemiJoin, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		row.SemiWall, row.SemiShuffled = semi.Wall, semi.Shuffled
+		row.SemiRounds = len(semi.Plan.Rounds)
+
+		sc, err := s.SixConfigs(name)
+		if err != nil {
+			return nil, err
+		}
+		rsHJ, rsTJ := sc.Row(planner.RSHJ), sc.Row(planner.RSTJ)
+		rs := rsHJ
+		if !rsTJ.Failed && (rs.Failed || rsTJ.Wall < rs.Wall) {
+			rs = rsTJ
+		}
+		row.RSWall, row.RSShuffled = rs.Wall, rs.Shuffled
+
+		hc := sc.Row(planner.HCTJ)
+		row.HCWall, row.HCShuffled = hc.Wall, hc.Shuffled
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (t *SemijoinStudy) Render(w io.Writer) {
+	fmt.Fprintln(w, "Semijoin (Yannakakis/GYM) plans vs regular and HyperCube shuffles (§3.6)")
+	fmt.Fprintf(w, "%-4s %7s %12s %14s %12s %14s %12s %14s\n",
+		"q", "rounds", "semi wall", "semi shuffled", "RS wall", "RS shuffled", "HC wall", "HC shuffled")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-4s %7d %12v %14d %12v %14d %12v %14d\n",
+			r.Query, r.SemiRounds,
+			r.SemiWall.Round(time.Microsecond), r.SemiShuffled,
+			r.RSWall.Round(time.Microsecond), r.RSShuffled,
+			r.HCWall.Round(time.Microsecond), r.HCShuffled)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"parajoin/internal/shares"
+)
+
+// ShareOptimizers reproduces Figure 11: the workload-to-optimal ratio of
+// the three HyperCube configuration algorithms (Algorithm 1, round-down,
+// and random allocation of 4096 virtual cells) for several cluster sizes.
+type ShareOptimizers struct {
+	// Rows[queryName][n] holds the three ratios.
+	Rows []ShareOptRow
+}
+
+// ShareOptRow is one (query, cluster size) cell of Figure 11.
+type ShareOptRow struct {
+	Query   string
+	Workers int
+	OurAlg  float64
+	OurCfg  shares.Config
+	RoundDn float64
+	RDCfg   shares.Config
+	Random  float64
+	RandomM int
+}
+
+// Figure11 evaluates the configuration algorithms on the given queries
+// (the paper uses Q1–Q4) for N = 64, 63 and 65.
+func (s *Suite) Figure11(queryNames []string, sizes []int) (*ShareOptimizers, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 63, 65}
+	}
+	w := s.Workload()
+	cat := s.Catalog()
+	out := &ShareOptimizers{}
+	for _, n := range sizes {
+		for _, name := range queryNames {
+			q := w.Query(name)
+			row := ShareOptRow{Query: name, Workers: n, RandomM: 4096}
+
+			opt, err := shares.Optimize(q, cat, n)
+			if err != nil {
+				return nil, err
+			}
+			row.OurCfg = opt
+			if row.OurAlg, err = shares.WorkloadRatio(q, cat, opt, n); err != nil {
+				return nil, err
+			}
+
+			rd, err := shares.RoundDown(q, cat, n)
+			if err != nil {
+				return nil, err
+			}
+			row.RDCfg = rd
+			if row.RoundDn, err = shares.WorkloadRatio(q, cat, rd, n); err != nil {
+				return nil, err
+			}
+
+			alloc, err := shares.RandomCells(q, cat, n, row.RandomM, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			wl, err := alloc.Workload(q, cat)
+			if err != nil {
+				return nil, err
+			}
+			frac, err := shares.SolveFractional(q, cat, n)
+			if err != nil {
+				return nil, err
+			}
+			if frac.TotalLoad > 0 {
+				row.Random = wl / frac.TotalLoad
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Render prints Figure 11 as a table.
+func (f *ShareOptimizers) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11: workload-to-optimal ratio of HyperCube configuration algorithms")
+	fmt.Fprintf(w, "%-4s %4s %10s %-18s %10s %-18s %16s\n",
+		"q", "N", "our alg", "(config)", "round dn", "(config)", "random(4096)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-4s %4d %10.2f %-18s %10.2f %-18s %16.2f\n",
+			r.Query, r.Workers, r.OurAlg, r.OurCfg, r.RoundDn, r.RDCfg, r.Random)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"parajoin/internal/planner"
+)
+
+// SixConfigs is the three-panel figure the paper draws per query (Figures
+// 3, 4, 6, 9, 13, 14, 15, 17): wall-clock time, total CPU time, and tuples
+// shuffled for every shuffle × join configuration.
+type SixConfigs struct {
+	Query string
+	Rows  []*RunOutcome
+}
+
+// SixConfigs runs all six configurations of the named workload query on
+// the suite's cluster. Results are cached per query so Table 6 and the
+// per-query figures share one sweep.
+func (s *Suite) SixConfigs(queryName string) (*SixConfigs, error) {
+	s.mu.Lock()
+	if s.sixCache == nil {
+		s.sixCache = map[string]*SixConfigs{}
+	}
+	if cached, ok := s.sixCache[queryName]; ok {
+		s.mu.Unlock()
+		return cached, nil
+	}
+	s.mu.Unlock()
+
+	out := &SixConfigs{Query: queryName}
+	for _, cfg := range planner.Configs {
+		row, err := s.RunConfig(queryName, cfg, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	s.mu.Lock()
+	s.sixCache[queryName] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Best returns the fastest non-failed configuration.
+func (sc *SixConfigs) Best() *RunOutcome {
+	var best *RunOutcome
+	for _, r := range sc.Rows {
+		if r.Failed {
+			continue
+		}
+		if best == nil || r.Wall < best.Wall {
+			best = r
+		}
+	}
+	return best
+}
+
+// Row returns the outcome for one configuration, or nil.
+func (sc *SixConfigs) Row(cfg planner.PlanConfig) *RunOutcome {
+	for _, r := range sc.Rows {
+		if r.Config == cfg {
+			return r
+		}
+	}
+	return nil
+}
+
+// Render prints the figure's three panels as one table.
+func (sc *SixConfigs) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: shuffle × join configurations\n", sc.Query)
+	fmt.Fprintf(w, "%-8s %12s %12s %14s %10s\n", "config", "wall", "cpu", "tuples shuffled", "results")
+	for _, r := range sc.Rows {
+		if r.Failed {
+			fmt.Fprintf(w, "%-8s %12s %12s %14d %10s\n", r.Config, "FAIL("+r.FailWhy+")", "-", r.Shuffled, "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-8s %12s %12s %14d %10d\n", r.Config, r.Wall.Round(10e3), r.CPU.Round(10e3), r.Shuffled, r.Results)
+	}
+	if best := sc.Best(); best != nil {
+		fmt.Fprintf(w, "best: %s\n", best.Config)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"parajoin/internal/planner"
+)
+
+// SkewStudy evaluates the heavy-hitter-aware regular shuffle (the technique
+// the paper's footnote 2 mentions) against the plain regular shuffle: same
+// left-deep hash-join plan, but heavy join keys are split round-robin on
+// one side and broadcast on the other. The comparison shows how much of the
+// regular shuffle's skew problem special-casing heavy hitters removes — and
+// what it costs in extra replication.
+type SkewStudy struct {
+	Rows []SkewStudyRow
+}
+
+// SkewStudyRow compares the two shuffles on one query.
+type SkewStudyRow struct {
+	Query         string
+	PlainWall     time.Duration
+	PlainShuffled int64
+	PlainSkew     float64
+	SkewAwareWall time.Duration
+	SkewAwareShuf int64
+	SkewAwareSkew float64
+	ResultsAgree  bool
+}
+
+// SkewStudy runs the comparison on the given queries (default Q1, the
+// query whose regular-shuffle skew the paper dissects in Table 2).
+func (s *Suite) SkewStudy(queryNames ...string) (*SkewStudy, error) {
+	if len(queryNames) == 0 {
+		queryNames = []string{"Q1"}
+	}
+	out := &SkewStudy{}
+	for _, name := range queryNames {
+		plain, err := s.RunConfig(name, planner.RSHJ, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		aware, err := s.RunConfig(name, planner.RSHJSkew, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		row := SkewStudyRow{
+			Query:         name,
+			PlainWall:     plain.Wall,
+			PlainShuffled: plain.Shuffled,
+			SkewAwareWall: aware.Wall,
+			SkewAwareShuf: aware.Shuffled,
+			ResultsAgree:  plain.Failed == aware.Failed && plain.Results == aware.Results,
+		}
+		if plain.Report != nil {
+			row.PlainSkew = plain.Report.MaxConsumerSkew()
+		}
+		if aware.Report != nil {
+			row.SkewAwareSkew = aware.Report.MaxConsumerSkew()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (t *SkewStudy) Render(w io.Writer) {
+	fmt.Fprintln(w, "Heavy-hitter-aware regular shuffle vs plain (footnote 2 extension)")
+	fmt.Fprintf(w, "%-4s %12s %14s %10s %14s %14s %10s %8s\n",
+		"q", "plain wall", "plain tuples", "plain skw", "aware wall", "aware tuples", "aware skw", "agree")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-4s %12v %14d %10.2f %14v %14d %10.2f %8v\n",
+			r.Query, r.PlainWall.Round(time.Microsecond), r.PlainShuffled, r.PlainSkew,
+			r.SkewAwareWall.Round(time.Microsecond), r.SkewAwareShuf, r.SkewAwareSkew, r.ResultsAgree)
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSkewStudy(t *testing.T) {
+	s := tinySuite()
+	defer s.Close()
+	st, err := s.SkewStudy("Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 1 {
+		t.Fatalf("%d rows", len(st.Rows))
+	}
+	r := st.Rows[0]
+	if !r.ResultsAgree {
+		t.Fatal("skew-aware plan changed the query result")
+	}
+	if r.PlainShuffled == 0 || r.SkewAwareShuf == 0 {
+		t.Fatal("missing shuffle counts")
+	}
+	var buf bytes.Buffer
+	st.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"parajoin/internal/core"
+	"parajoin/internal/planner"
+)
+
+// Summary reproduces Table 6: one row per query with the structural facts
+// (tables joined, join variables, cyclicity, input size), the traffic of
+// the regular and HyperCube shuffles, the regular shuffle's worst skew, the
+// RS_HJ/HC_TJ speed ratio, and the fastest configuration.
+type Summary struct {
+	Rows []SummaryRow
+}
+
+// SummaryRow is one query's Table-6 row.
+type SummaryRow struct {
+	Query     string
+	Tables    int
+	JoinVars  int
+	Cyclic    bool
+	InputSize int
+	RSSize    int64
+	HCSize    int64
+	RSSkew    float64
+	// TimeRatio is Time(RS_HJ)/Time(HC_TJ); 0 when either failed.
+	TimeRatio float64
+	Best      planner.PlanConfig
+	BestWall  string
+}
+
+// Table6 runs every workload query under all six configurations.
+func (s *Suite) Table6(queryNames ...string) (*Summary, error) {
+	w := s.Workload()
+	if len(queryNames) == 0 {
+		queryNames = w.Names()
+	}
+	out := &Summary{}
+	for _, name := range queryNames {
+		q := w.Query(name)
+		sc, err := s.SixConfigs(name)
+		if err != nil {
+			return nil, err
+		}
+		row := SummaryRow{
+			Query:     name,
+			Tables:    len(q.Atoms),
+			JoinVars:  len(q.JoinVars()),
+			Cyclic:    !core.IsAcyclic(q),
+			InputSize: w.InputSize(q),
+		}
+		if rs := sc.Row(planner.RSHJ); rs != nil {
+			row.RSSize = rs.Shuffled
+			if rs.Report != nil {
+				row.RSSkew = rs.Report.MaxConsumerSkew()
+			}
+		}
+		if hc := sc.Row(planner.HCTJ); hc != nil {
+			row.HCSize = hc.Shuffled
+		}
+		rs, hc := sc.Row(planner.RSHJ), sc.Row(planner.HCTJ)
+		if rs != nil && hc != nil && !rs.Failed && !hc.Failed && hc.Wall > 0 {
+			row.TimeRatio = float64(rs.Wall) / float64(hc.Wall)
+		}
+		if best := sc.Best(); best != nil {
+			row.Best = best.Config
+			row.BestWall = best.Wall.String()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints Table 6.
+func (t *Summary) Render(w io.Writer) {
+	fmt.Fprintln(w, "Table 6: Summary of the extended evaluation")
+	fmt.Fprintf(w, "%-4s %7s %9s %7s %11s %11s %11s %8s %22s %8s\n",
+		"q", "tables", "join-vars", "cyclic", "input", "RS size", "HC size", "RS skew", "T(RS_HJ)/T(HC_TJ)", "best")
+	for _, r := range t.Rows {
+		cyc := "N"
+		if r.Cyclic {
+			cyc = "Y"
+		}
+		ratio := "-"
+		if r.TimeRatio > 0 {
+			ratio = fmt.Sprintf("%.2f", r.TimeRatio)
+		}
+		fmt.Fprintf(w, "%-4s %7d %9d %7s %11d %11d %11d %8.2f %22s %8s\n",
+			r.Query, r.Tables, r.JoinVars, cyc, r.InputSize, r.RSSize, r.HCSize, r.RSSkew, ratio, r.Best)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"parajoin/internal/planner"
+)
+
+// Utilization reproduces Figure 8: the per-worker busy-time profile of two
+// configurations of one query, exposing the long-tail workers that make
+// HC_TJ's wall-clock time exceed BR_TJ's on Q4 despite its lower total CPU.
+type Utilization struct {
+	Query    string
+	Profiles []UtilizationProfile
+}
+
+// UtilizationProfile is one configuration's per-worker busy times.
+type UtilizationProfile struct {
+	Config planner.PlanConfig
+	Busy   []time.Duration // per worker, sorted descending
+	Total  time.Duration
+	Max    time.Duration
+	Median time.Duration
+	Skew   float64
+}
+
+// Utilization profiles the named configurations (the paper compares HC_TJ
+// and BR_TJ on Q4).
+func (s *Suite) Utilization(queryName string, cfgs ...planner.PlanConfig) (*Utilization, error) {
+	if len(cfgs) == 0 {
+		cfgs = []planner.PlanConfig{planner.HCTJ, planner.BRTJ}
+	}
+	out := &Utilization{Query: queryName}
+	sc, err := s.SixConfigs(queryName)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
+		run := sc.Row(cfg)
+		if run.Failed || run.Report == nil {
+			continue
+		}
+		busy := append([]time.Duration(nil), run.Report.BusyTime...)
+		sort.Slice(busy, func(i, j int) bool { return busy[i] > busy[j] })
+		p := UtilizationProfile{Config: cfg, Busy: busy, Total: run.Report.TotalBusy(),
+			Max: run.Report.MaxBusy(), Skew: run.Report.BusySkew()}
+		if len(busy) > 0 {
+			p.Median = busy[len(busy)/2]
+		}
+		out.Profiles = append(out.Profiles, p)
+	}
+	return out, nil
+}
+
+// Render prints the profile summary plus a coarse per-worker bar chart.
+func (u *Utilization) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: worker utilization (Figure 8)\n", u.Query)
+	for _, p := range u.Profiles {
+		fmt.Fprintf(w, "%-8s total=%v max=%v median=%v skew(max/avg)=%.2f\n",
+			p.Config, p.Total.Round(time.Microsecond), p.Max.Round(time.Microsecond),
+			p.Median.Round(time.Microsecond), p.Skew)
+		if p.Max <= 0 {
+			continue
+		}
+		for i, b := range p.Busy {
+			if i >= 8 { // top of the tail is what matters
+				fmt.Fprintf(w, "    ... %d more workers\n", len(p.Busy)-i)
+				break
+			}
+			bars := int(40 * float64(b) / float64(p.Max))
+			fmt.Fprintf(w, "    w%-3d %-40s %v\n", i, barString(bars), b.Round(time.Microsecond))
+		}
+	}
+}
+
+func barString(n int) string {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = '#'
+	}
+	return string(s)
+}

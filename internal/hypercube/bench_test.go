@@ -1,0 +1,41 @@
+package hypercube
+
+import (
+	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+	"parajoin/internal/shares"
+)
+
+func BenchmarkRouterDestinations(b *testing.B) {
+	g := NewGrid(shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{4, 4, 4}})
+	r := g.RouterFor(core.NewAtom("R", core.V("x"), core.V("y")))
+	t := rel.Tuple{12345, 67890}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = r.Destinations(t, dst[:0])
+	}
+	_ = dst
+}
+
+func BenchmarkSimulateLoads(b *testing.B) {
+	q := triangleQuery()
+	mk := func(seed int64) *rel.Relation {
+		r := rel.New("X", "a", "b")
+		for i := int64(0); i < 20000; i++ {
+			r.AppendRow(i*seed%9973, i%9973)
+		}
+		return r
+	}
+	relations := map[string]*rel.Relation{"R": mk(3), "S": mk(5), "T": mk(7)}
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{4, 4, 4}}
+	alloc := shares.OneCellPerWorker(cfg, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLoads(q, relations, alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

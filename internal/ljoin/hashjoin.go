@@ -1,0 +1,79 @@
+package ljoin
+
+import (
+	"encoding/binary"
+
+	"parajoin/internal/rel"
+)
+
+// Local hash join and semijoin. The engine's pipelined symmetric hash join
+// lives in internal/engine; these materialized versions serve the
+// sequential paths: the semijoin reduction and the test oracles.
+
+// joinKey packs the values of cols into a map key.
+func joinKey(t rel.Tuple, cols []int, buf []byte) string {
+	for i, c := range cols {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(t[c]))
+	}
+	return string(buf[:8*len(cols)])
+}
+
+// HashJoin computes the equijoin of left and right on leftCols = rightCols.
+// The output schema is left's columns followed by right's columns with the
+// join columns removed (natural-join style). The hash table is built on
+// left; callers that know the smaller side should pass it first.
+func HashJoin(left, right *rel.Relation, leftCols, rightCols []int) *rel.Relation {
+	if len(leftCols) != len(rightCols) {
+		panic("ljoin: HashJoin key arity mismatch")
+	}
+	dropRight := make(map[int]bool, len(rightCols))
+	for _, c := range rightCols {
+		dropRight[c] = true
+	}
+	schema := left.Schema.Clone()
+	var keepRight []int
+	for i, name := range right.Schema {
+		if !dropRight[i] {
+			schema = append(schema, name)
+			keepRight = append(keepRight, i)
+		}
+	}
+	out := &rel.Relation{Name: left.Name + "⋈" + right.Name, Schema: schema}
+
+	buf := make([]byte, 8*len(leftCols))
+	build := make(map[string][]rel.Tuple, left.Cardinality())
+	for _, t := range left.Tuples {
+		build[joinKey(t, leftCols, buf)] = append(build[joinKey(t, leftCols, buf)], t)
+	}
+	for _, t := range right.Tuples {
+		for _, bt := range build[joinKey(t, rightCols, buf)] {
+			row := make(rel.Tuple, 0, len(schema))
+			row = append(row, bt...)
+			for _, c := range keepRight {
+				row = append(row, t[c])
+			}
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the tuples of left that have at least one match in right
+// on leftCols = rightCols — the reducer of the Yannakakis algorithm.
+func Semijoin(left, right *rel.Relation, leftCols, rightCols []int) *rel.Relation {
+	if len(leftCols) != len(rightCols) {
+		panic("ljoin: Semijoin key arity mismatch")
+	}
+	buf := make([]byte, 8*len(rightCols))
+	keys := make(map[string]struct{}, right.Cardinality())
+	for _, t := range right.Tuples {
+		keys[joinKey(t, rightCols, buf)] = struct{}{}
+	}
+	out := &rel.Relation{Name: left.Name + "⋉" + right.Name, Schema: left.Schema.Clone()}
+	for _, t := range left.Tuples {
+		if _, ok := keys[joinKey(t, leftCols, buf)]; ok {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package ljoin
+
+import (
+	"fmt"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+)
+
+// NaiveEvaluate computes a conjunctive query by backtracking over atoms,
+// trying every tuple of every atom's relation. It is exponential and exists
+// purely as a correctness oracle for tests of the Tributary join, the hash
+// join pipelines, and the distributed plans: on small inputs every other
+// evaluator must agree with it.
+func NaiveEvaluate(q *core.Query, relations map[string]*rel.Relation) (*rel.Relation, error) {
+	for _, a := range q.Atoms {
+		r := relations[a.Alias]
+		if r == nil {
+			return nil, fmt.Errorf("ljoin: no relation bound to atom %q", a.Alias)
+		}
+		if len(r.Schema) != len(a.Terms) {
+			return nil, fmt.Errorf("ljoin: atom %s arity mismatch with relation %s", a, r.Name)
+		}
+	}
+
+	head := q.HeadVars()
+	schema := make(rel.Schema, len(head))
+	for i, h := range head {
+		schema[i] = string(h)
+	}
+	out := &rel.Relation{Name: q.Name, Schema: schema}
+
+	binding := make(map[core.Var]int64)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(q.Atoms) {
+			for _, f := range q.Filters {
+				right := f.Right.Const
+				if f.Right.IsVar {
+					right = binding[f.Right.Var]
+				}
+				if !f.Op.Eval(binding[f.Left], right) {
+					return
+				}
+			}
+			row := make(rel.Tuple, len(head))
+			for j, h := range head {
+				row[j] = binding[h]
+			}
+			out.Tuples = append(out.Tuples, row)
+			return
+		}
+		atom := q.Atoms[i]
+		r := relations[atom.Alias]
+	tuples:
+		for _, t := range r.Tuples {
+			var bound []core.Var
+			for j, term := range atom.Terms {
+				if !term.IsVar {
+					if t[j] != term.Const {
+						for _, v := range bound {
+							delete(binding, v)
+						}
+						continue tuples
+					}
+					continue
+				}
+				if v, ok := binding[term.Var]; ok {
+					if v != t[j] {
+						for _, bv := range bound {
+							delete(binding, bv)
+						}
+						continue tuples
+					}
+				} else {
+					binding[term.Var] = t[j]
+					bound = append(bound, term.Var)
+				}
+			}
+			walk(i + 1)
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+	}
+	walk(0)
+
+	// Conjunctive-query (set) semantics for the materialized result.
+	out.Dedup()
+	return out, nil
+}

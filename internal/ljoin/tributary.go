@@ -1,0 +1,334 @@
+package ljoin
+
+import (
+	"fmt"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+)
+
+// Tributary join (Section 2.2 of the paper): a worst-case-optimal multiway
+// join implementing the Leapfrog Triejoin API over sorted arrays. All input
+// relations are sorted lexicographically under one global variable order;
+// the join then intersects the relations one variable at a time, descending
+// recursively into residual relations that are contiguous sub-arrays.
+
+// Stats reports the work a Tributary join performed.
+type Stats struct {
+	// Seeks is the number of binary (or galloping) searches, the quantity
+	// the Section-5 cost model estimates.
+	Seeks int64
+	// Results is the number of tuples emitted.
+	Results int64
+	// SortTime is the time Prepare spent sorting inputs — the dominant cost
+	// of Tributary join in the paper's profile (Table 5).
+	SortTime time.Duration
+}
+
+// Prepared is a Tributary join ready to run: inputs normalized, sorted, and
+// wrapped in trie iterators.
+type Prepared struct {
+	q     *core.Query
+	order []core.Var
+	mode  SeekMode
+
+	atoms            []*preparedAtom
+	byLevel          [][]int         // byLevel[d] = indexes of atoms whose trie includes level d's variable
+	filters          [][]core.Filter // filters that become checkable exactly at depth d
+	filterIx         [][][2]int      // per depth, per filter: operand positions in the binding (-1 = constant)
+	headIdx          []int           // binding positions of the head variables
+	sortTime         time.Duration
+	results          int64
+	emptyGuardFailed bool
+
+	// stop, when set, is polled periodically during the join; returning
+	// true aborts the run (used for deadlines on known-bad variable orders).
+	stop      func() bool
+	stopSteps int64
+	stopped   bool
+}
+
+type preparedAtom struct {
+	alias string
+	trie  TrieIterator
+	depth int // number of variables = trie depth
+}
+
+// Prepare normalizes each atom's relation (applying constant selections,
+// repeated-variable equalities, and the column permutation dictated by the
+// global variable order), sorts it, and builds the trie iterators.
+// relations maps atom aliases to relations whose columns follow the atom's
+// term layout.
+func Prepare(q *core.Query, relations map[string]*rel.Relation, order []core.Var, mode SeekMode) (*Prepared, error) {
+	if err := checkOrder(q, order); err != nil {
+		return nil, err
+	}
+	pos := make(map[core.Var]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	p := &Prepared{q: q, order: order, mode: mode}
+	p.byLevel = make([][]int, len(order))
+	start := time.Now()
+	for _, atom := range q.Atoms {
+		r := relations[atom.Alias]
+		if r == nil {
+			return nil, fmt.Errorf("ljoin: no relation bound to atom %q", atom.Alias)
+		}
+		if len(r.Schema) != len(atom.Terms) {
+			return nil, fmt.Errorf("ljoin: atom %s has %d terms but relation %s has arity %d",
+				atom, len(atom.Terms), r.Name, len(r.Schema))
+		}
+		norm := NormalizeAtom(atom, r, order)
+		if norm.Arity() == 0 {
+			// Fully-constant atom: an existence guard.
+			if norm.Cardinality() == 0 {
+				p.emptyGuardFailed = true
+			}
+			continue
+		}
+		var trie TrieIterator
+		if mode == SeekBTree {
+			// The B-tree backend indexes instead of sorting; Prepare's
+			// "sort time" then meters the index build — the very cost the
+			// paper's array-based design avoids.
+			trie = newBTreeTrie(norm.Tuples, norm.Arity())
+		} else {
+			norm.Sort()
+			trie = newArrayTrie(norm.Tuples, norm.Arity(), mode)
+		}
+		pa := &preparedAtom{
+			alias: atom.Alias,
+			trie:  trie,
+			depth: norm.Arity(),
+		}
+		idx := len(p.atoms)
+		p.atoms = append(p.atoms, pa)
+		for _, v := range atom.Vars() {
+			p.byLevel[pos[v]] = append(p.byLevel[pos[v]], idx)
+		}
+	}
+	p.sortTime = time.Since(start)
+
+	// Attach each filter to the first depth where all its operands are bound.
+	p.filters = make([][]core.Filter, len(order))
+	p.filterIx = make([][][2]int, len(order))
+	for _, f := range q.Filters {
+		d := pos[f.Left]
+		ri := -1
+		if f.Right.IsVar {
+			if pos[f.Right.Var] > d {
+				d = pos[f.Right.Var]
+			}
+			ri = pos[f.Right.Var]
+		}
+		p.filters[d] = append(p.filters[d], f)
+		p.filterIx[d] = append(p.filterIx[d], [2]int{pos[f.Left], ri})
+	}
+
+	for _, h := range q.HeadVars() {
+		p.headIdx = append(p.headIdx, pos[h])
+	}
+	return p, nil
+}
+
+func checkOrder(q *core.Query, order []core.Var) error {
+	vars := q.Vars()
+	if len(order) != len(vars) {
+		return fmt.Errorf("ljoin: order %v has %d variables, query has %d", order, len(order), len(vars))
+	}
+	seen := make(map[core.Var]bool, len(order))
+	for _, v := range order {
+		if seen[v] {
+			return fmt.Errorf("ljoin: variable %s repeated in order", v)
+		}
+		seen[v] = true
+	}
+	for _, v := range vars {
+		if !seen[v] {
+			return fmt.Errorf("ljoin: order %v misses variable %s", order, v)
+		}
+	}
+	return nil
+}
+
+// NormalizeAtom turns an atom's relation into the form Tributary join
+// consumes: rows violating the atom's constant bindings or repeated-variable
+// equalities are dropped, and the remaining columns are the atom's distinct
+// variables ordered by the global variable order.
+func NormalizeAtom(atom core.Atom, r *rel.Relation, order []core.Var) *rel.Relation {
+	pos := make(map[core.Var]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Distinct variables of the atom, sorted by global order, with the term
+	// position that supplies each.
+	type colSrc struct {
+		v   core.Var
+		src int
+	}
+	var cols []colSrc
+	firstPos := make(map[core.Var]int)
+	for i, t := range atom.Terms {
+		if t.IsVar {
+			if _, ok := firstPos[t.Var]; !ok {
+				firstPos[t.Var] = i
+				cols = append(cols, colSrc{t.Var, i})
+			}
+		}
+	}
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && pos[cols[j].v] < pos[cols[j-1].v]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+
+	schema := make(rel.Schema, len(cols))
+	srcs := make([]int, len(cols))
+	for i, c := range cols {
+		schema[i] = string(c.v)
+		srcs[i] = c.src
+	}
+	out := &rel.Relation{Name: atom.Alias, Schema: schema}
+	for _, t := range r.Tuples {
+		ok := true
+		for i, term := range atom.Terms {
+			if term.IsVar {
+				if t[i] != t[firstPos[term.Var]] {
+					ok = false
+					break
+				}
+			} else if t[i] != term.Const {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out.Tuples = append(out.Tuples, t.Project(srcs))
+	}
+	return out
+}
+
+// Run executes the join, calling emit for every result tuple (laid out as
+// the query's head variables). emit returning false stops the join early.
+// Run may be called once per Prepared value.
+func (p *Prepared) Run(emit func(rel.Tuple) bool) error {
+	if p.emptyGuardFailed {
+		return nil
+	}
+	for d, atomIdx := range p.byLevel {
+		if len(atomIdx) == 0 {
+			return fmt.Errorf("ljoin: variable %s bound by no atom", p.order[d])
+		}
+	}
+	binding := make(rel.Tuple, len(p.order))
+	out := make(rel.Tuple, len(p.headIdx))
+	p.join(0, binding, out, emit)
+	return nil
+}
+
+// join enumerates the values of variable level d consistent with the
+// current bindings, recursing to deeper levels.
+func (p *Prepared) join(d int, binding, out rel.Tuple, emit func(rel.Tuple) bool) bool {
+	participants := p.byLevel[d]
+	iters := make([]TrieIterator, len(participants))
+	for i, ai := range participants {
+		p.atoms[ai].trie.Open()
+		iters[i] = p.atoms[ai].trie
+	}
+	defer func() {
+		for _, ai := range participants {
+			p.atoms[ai].trie.Up()
+		}
+	}()
+
+	lf := leapfrog{iters: iters}
+	lf.init()
+	for !lf.atEnd {
+		if p.stop != nil {
+			p.stopSteps++
+			if p.stopSteps&4095 == 0 && p.stop() {
+				p.stopped = true
+				return false
+			}
+		}
+		binding[d] = lf.key()
+		if p.checkFilters(d, binding) {
+			if d == len(p.order)-1 {
+				for i, ix := range p.headIdx {
+					out[i] = binding[ix]
+				}
+				p.results++
+				if !emit(out) {
+					return false
+				}
+			} else if !p.join(d+1, binding, out, emit) {
+				return false
+			}
+		}
+		lf.next()
+	}
+	return true
+}
+
+func (p *Prepared) checkFilters(d int, binding rel.Tuple) bool {
+	for i, f := range p.filters[d] {
+		ix := p.filterIx[d][i]
+		left := binding[ix[0]]
+		right := f.Right.Const
+		if ix[1] >= 0 {
+			right = binding[ix[1]]
+		}
+		if !f.Op.Eval(left, right) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetStopCheck installs a predicate polled periodically during Run;
+// returning true aborts the join (Run still returns nil — check Stopped).
+func (p *Prepared) SetStopCheck(stop func() bool) { p.stop = stop }
+
+// Stopped reports whether the last Run was aborted by the stop check.
+func (p *Prepared) Stopped() bool { return p.stopped }
+
+// Stats returns the work counters accumulated so far.
+func (p *Prepared) Stats() Stats {
+	s := Stats{Results: p.results, SortTime: p.sortTime}
+	for _, a := range p.atoms {
+		s.Seeks += a.trie.Seeks()
+	}
+	return s
+}
+
+// Evaluate runs a complete Tributary join and materializes the result. The
+// output schema is the query's head variables; non-full queries are
+// deduplicated (datalog set semantics).
+func Evaluate(q *core.Query, relations map[string]*rel.Relation, order []core.Var, mode SeekMode) (*rel.Relation, Stats, error) {
+	p, err := Prepare(q, relations, order, mode)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	head := q.HeadVars()
+	schema := make(rel.Schema, len(head))
+	for i, h := range head {
+		schema[i] = string(h)
+	}
+	out := &rel.Relation{Name: q.Name, Schema: schema}
+	err = p.Run(func(t rel.Tuple) bool {
+		out.Tuples = append(out.Tuples, t.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !q.IsFull() {
+		out.Dedup()
+	}
+	return out, p.Stats(), nil
+}

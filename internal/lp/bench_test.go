@@ -1,0 +1,46 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The share optimizer's LPs have one variable per join variable (≤ ~10)
+// and one constraint per atom; this bench covers that regime and a bigger
+// one to confirm headroom.
+func benchProblem(vars, cons int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{Objective: make([]float64, vars)}
+	for j := range p.Objective {
+		p.Objective[j] = rng.Float64()
+	}
+	for i := 0; i < cons; i++ {
+		row := make([]float64, vars)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		p.A = append(p.A, row)
+		p.B = append(p.B, 1+rng.Float64()*5)
+	}
+	return p
+}
+
+func BenchmarkSolveShareSized(b *testing.B) {
+	p := benchProblem(10, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveLarger(b *testing.B) {
+	p := benchProblem(40, 60, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package lp implements a small, dense, two-phase primal simplex solver for
+// linear programs. It stands in for GLPK, which the paper uses to compute
+// the optimal fractional HyperCube shares via the Beame et al. linear
+// program. The problems the share optimizer produces are tiny (one variable
+// per join variable plus one load variable, one constraint per atom), so a
+// dense tableau with Bland's anti-cycling rule is both simple and fast.
+//
+// The solver handles the computational standard form
+//
+//	maximize   c·x
+//	subject to A·x  ≤ b
+//	           Aeq·x = beq
+//	           x ≥ 0
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Solver failure modes.
+var (
+	// ErrInfeasible is returned when no x satisfies the constraints.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded is returned when the objective can grow without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Problem is a linear program in computational standard form. All variables
+// are implicitly non-negative; model a free variable as the difference of
+// two non-negative ones.
+type Problem struct {
+	// Objective holds c: the program maximizes c·x.
+	Objective []float64
+	// A and B hold the inequality constraints A·x ≤ B. Rows of A must have
+	// len(Objective) entries.
+	A [][]float64
+	B []float64
+	// Aeq and Beq hold the equality constraints Aeq·x = Beq.
+	Aeq [][]float64
+	Beq []float64
+}
+
+// Solution is an optimal point and its objective value.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Solve runs two-phase simplex and returns an optimal solution, or
+// ErrInfeasible / ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return nil, fmt.Errorf("lp: empty objective")
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: inequality row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	for i, row := range p.Aeq {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: equality row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if len(p.A) != len(p.B) || len(p.Aeq) != len(p.Beq) {
+		return nil, fmt.Errorf("lp: constraint matrix/vector length mismatch")
+	}
+
+	t := newTableau(p)
+	if t.needPhase1 {
+		if err := t.phase1(); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.phase2(); err != nil {
+		return nil, err
+	}
+	return t.solution(), nil
+}
+
+// tableau is the dense simplex tableau. Columns are ordered: the n original
+// variables, m slack variables (one per inequality), then any artificial
+// variables. rows[i][cols] is the right-hand side.
+type tableau struct {
+	n          int // original variables
+	m          int // inequality constraints (slacks)
+	k          int // equality constraints
+	nArt       int // artificial variables
+	cols       int // total columns excluding RHS
+	rows       [][]float64
+	basis      []int // basis[i] = column basic in row i
+	cost       []float64
+	rhsCol     int
+	origin     *Problem
+	needPhase1 bool
+}
+
+func newTableau(p *Problem) *tableau {
+	n, m, k := len(p.Objective), len(p.A), len(p.Aeq)
+	t := &tableau{n: n, m: m, k: k, origin: p}
+
+	// Assemble rows with b >= 0: negate any row with a negative RHS.
+	type rawRow struct {
+		a     []float64
+		b     float64
+		slack int // +1 normal slack, -1 surplus (negated ≤), 0 equality
+	}
+	raws := make([]rawRow, 0, m+k)
+	for i := 0; i < m; i++ {
+		a := append([]float64(nil), p.A[i]...)
+		b := p.B[i]
+		slack := +1
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			slack = -1
+		}
+		raws = append(raws, rawRow{a, b, slack})
+	}
+	for i := 0; i < k; i++ {
+		a := append([]float64(nil), p.Aeq[i]...)
+		b := p.Beq[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+		}
+		raws = append(raws, rawRow{a, b, 0})
+	}
+
+	// Artificial variables are needed for equality rows and for negated
+	// inequality rows (whose slack coefficient is -1 and cannot be basic).
+	for _, r := range raws {
+		if r.slack <= 0 {
+			t.nArt++
+		}
+	}
+	t.needPhase1 = t.nArt > 0
+	t.cols = n + m + t.nArt
+	t.rhsCol = t.cols
+
+	t.rows = make([][]float64, len(raws))
+	t.basis = make([]int, len(raws))
+	art := 0
+	for i, r := range raws {
+		row := make([]float64, t.cols+1)
+		copy(row, r.a)
+		if i < m { // slack column for inequality i
+			row[n+i] = float64(sign(r.slack))
+		}
+		if r.slack <= 0 {
+			row[n+m+art] = 1
+			t.basis[i] = n + m + art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		row[t.rhsCol] = r.b
+		t.rows[i] = row
+	}
+	return t
+}
+
+func sign(s int) int {
+	if s < 0 {
+		return -1
+	}
+	return 1
+}
+
+// phase1 minimizes the sum of artificial variables; feasible iff the optimum
+// is zero.
+func (t *tableau) phase1() error {
+	// cost: maximize -(sum of artificials).
+	t.cost = make([]float64, t.cols)
+	for j := t.n + t.m; j < t.cols; j++ {
+		t.cost[j] = -1
+	}
+	if err := t.optimize(); err != nil {
+		// Phase 1 objective is bounded by 0, so unbounded cannot happen;
+		// surface it anyway to avoid masking a bug.
+		return err
+	}
+	if t.objectiveValue() < -eps {
+		return ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis (degenerate case).
+	for i, b := range t.basis {
+		if b >= t.n+t.m {
+			pivoted := false
+			for j := 0; j < t.n+t.m && !pivoted; j++ {
+				if math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+				}
+			}
+			// If the whole row is zero the constraint was redundant; the
+			// artificial stays basic at value zero, which is harmless.
+			_ = pivoted
+		}
+	}
+	return nil
+}
+
+// phase2 optimizes the real objective with artificial columns frozen.
+func (t *tableau) phase2() error {
+	t.cost = make([]float64, t.cols)
+	copy(t.cost, t.origin.Objective)
+	return t.optimize()
+}
+
+// optimize runs primal simplex with Bland's rule until optimal or unbounded.
+func (t *tableau) optimize() error {
+	// reduced[j] = cost[j] - cost_B · column_j; recomputed each iteration
+	// (problems are tiny, clarity beats a revised-simplex update).
+	for iter := 0; ; iter++ {
+		if iter > 10000*(t.cols+1) {
+			return fmt.Errorf("lp: simplex iteration limit exceeded (cycling?)")
+		}
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.isArtificial(j) && t.costIsPhase2() {
+				continue // artificials never re-enter in phase 2
+			}
+			if t.reducedCost(j) > eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test, Bland tie-break on smallest basis column.
+		leave := -1
+		best := math.Inf(1)
+		for i := range t.rows {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.rhsCol] / a
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *tableau) isArtificial(j int) bool { return j >= t.n+t.m }
+
+func (t *tableau) costIsPhase2() bool {
+	// In phase 1 the artificial columns carry cost -1; in phase 2 they are 0.
+	for j := t.n + t.m; j < t.cols; j++ {
+		if t.cost[j] != 0 {
+			return false
+		}
+	}
+	return t.nArt > 0
+}
+
+func (t *tableau) reducedCost(j int) float64 {
+	c := t.cost[j]
+	for i, b := range t.basis {
+		if cb := t.cost[b]; cb != 0 {
+			c -= cb * t.rows[i][j]
+		}
+	}
+	return c
+}
+
+func (t *tableau) objectiveValue() float64 {
+	v := 0.0
+	for i, b := range t.basis {
+		v += t.cost[b] * t.rows[i][t.rhsCol]
+	}
+	return v
+}
+
+func (t *tableau) pivot(row, col int) {
+	p := t.rows[row][col]
+	for j := range t.rows[row] {
+		t.rows[row][j] /= p
+	}
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t.rows[i] {
+			t.rows[i][j] -= f * t.rows[row][j]
+		}
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) solution() *Solution {
+	x := make([]float64, t.n)
+	for i, b := range t.basis {
+		if b < t.n {
+			x[b] = t.rows[i][t.rhsCol]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < t.n; j++ {
+		obj += t.origin.Objective[j] * x[j]
+	}
+	return &Solution{X: x, Objective: obj}
+}

@@ -1,0 +1,222 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimple2D(t *testing.T) {
+	// maximize 3x+4y s.t. x+2y<=14, 3x-y<=0 (i.e. y>=3x), x-y<=2.
+	p := &Problem{
+		Objective: []float64{3, 4},
+		A:         [][]float64{{1, 2}, {3, -1}, {1, -1}},
+		B:         []float64{14, 0, 2},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 6) || !approx(s.Objective, 30) {
+		t.Fatalf("solution = %v obj %v, want (2,6) obj 30", s.X, s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x+y s.t. x+y+z = 1, x<=0.3 -> obj 1 regardless; check feasibility.
+	p := &Problem{
+		Objective: []float64{1, 1, 0},
+		A:         [][]float64{{1, 0, 0}},
+		B:         []float64{0.3},
+		Aeq:       [][]float64{{1, 1, 1}},
+		Beq:       []float64{1},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 1) {
+		t.Fatalf("objective = %v, want 1", s.Objective)
+	}
+	sum := s.X[0] + s.X[1] + s.X[2]
+	if !approx(sum, 1) || s.X[0] > 0.3+1e-9 {
+		t.Fatalf("solution %v violates constraints", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x = 2 is infeasible.
+	p := &Problem{
+		Objective: []float64{1},
+		A:         [][]float64{{1}},
+		B:         []float64{1},
+		Aeq:       [][]float64{{1}},
+		Beq:       []float64{2},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 0},
+		A:         [][]float64{{0, 1}},
+		B:         []float64{1},
+	}
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// maximize -x s.t. -x <= -2 (x >= 2): optimum x=2, obj -2. Needs phase 1.
+	p := &Problem{
+		Objective: []float64{-1},
+		A:         [][]float64{{-1}},
+		B:         []float64{-2},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.X[0], 2) || !approx(s.Objective, -2) {
+		t.Fatalf("solution = %v obj %v, want x=2 obj -2", s.X, s.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	p := &Problem{
+		Objective: []float64{10, -57, -9, -24},
+		A: [][]float64{
+			{0.5, -5.5, -2.5, 9},
+			{0.5, -1.5, -0.5, 1},
+			{1, 0, 0, 0},
+		},
+		B: []float64{0, 0, 1},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 1) {
+		t.Fatalf("objective = %v, want 1", s.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows leave an artificial basic at zero; result must
+	// still be correct.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Aeq:       [][]float64{{1, 1}, {2, 2}},
+		Beq:       []float64{4, 8},
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 8) || !approx(s.X[1], 4) {
+		t.Fatalf("solution = %v obj %v, want (0,4) obj 8", s.X, s.Objective)
+	}
+}
+
+// bruteForceMax evaluates the LP on a grid and returns the best feasible
+// objective found — a lower bound on the true optimum for validation.
+func bruteForceMax(p *Problem, lo, hi float64, steps int) float64 {
+	n := len(p.Objective)
+	best := math.Inf(-1)
+	var walk func(x []float64, i int)
+	walk = func(x []float64, i int) {
+		if i == n {
+			for r, row := range p.A {
+				dot := 0.0
+				for j := range row {
+					dot += row[j] * x[j]
+				}
+				if dot > p.B[r]+1e-9 {
+					return
+				}
+			}
+			obj := 0.0
+			for j := range x {
+				obj += p.Objective[j] * x[j]
+			}
+			if obj > best {
+				best = obj
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			x[i] = lo + (hi-lo)*float64(s)/float64(steps)
+			walk(x, i+1)
+		}
+	}
+	walk(make([]float64, n), 0)
+	return best
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(2) // 2 or 3 variables
+		m := 2 + rng.Intn(3)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()*4 - 1
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, rng.Float64()*5)
+		}
+		// Keep the feasible region bounded so brute force is meaningful.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 3)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			// Origin is always feasible here (B >= 0), and the box bounds
+			// the region, so neither failure is acceptable.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bf := bruteForceMax(p, 0, 3, 30)
+		if s.Objective < bf-1e-6 {
+			t.Fatalf("trial %d: simplex %.6f below brute force %.6f", trial, s.Objective, bf)
+		}
+		// Simplex answer must itself be feasible.
+		for r, row := range p.A {
+			dot := 0.0
+			for j := range row {
+				dot += row[j] * s.X[j]
+			}
+			if dot > p.B[r]+1e-6 {
+				t.Fatalf("trial %d: solution violates constraint %d", trial, r)
+			}
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := (&Problem{}).Solve(); err == nil {
+		t.Error("empty objective should error")
+	}
+	p := &Problem{Objective: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}
+	if _, err := p.Solve(); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	p2 := &Problem{Objective: []float64{1}, A: [][]float64{{1}}, B: []float64{}}
+	if _, err := p2.Solve(); err == nil {
+		t.Error("mismatched B should error")
+	}
+}

@@ -1,0 +1,106 @@
+package order
+
+import (
+	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+)
+
+func TestBestBeamMatchesExhaustiveOnTriangle(t *testing.T) {
+	q := core.MustQuery("Triangle", nil, []core.Atom{
+		core.NewAtom("R", core.V("x"), core.V("y")),
+		core.NewAtom("S", core.V("y"), core.V("z")),
+		core.NewAtom("T", core.V("z"), core.V("x")),
+	})
+	rels := map[string]*rel.Relation{
+		"R": randGraph("R", 300, 40, 90),
+		"S": randGraph("S", 300, 40, 91),
+		"T": randGraph("T", 300, 40, 92),
+	}
+	e, err := NewEstimator(q, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exhaustive, err := e.Best(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wide-enough beam must find the exhaustive optimum on 3 variables.
+	ord, beam, err := e.BestBeam(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beam != exhaustive {
+		t.Fatalf("beam cost %f, exhaustive %f (order %v)", beam, exhaustive, ord)
+	}
+}
+
+func TestBestBeamConsistentWithCost(t *testing.T) {
+	q := pathQuery()
+	e, err := NewEstimator(q, map[string]*rel.Relation{
+		"R": randGraph("R", 100, 15, 93),
+		"S": randGraph("S", 100, 15, 94),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, c, err := e.BestBeam(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.Cost(ord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != c {
+		t.Fatalf("beam cost %f disagrees with Cost %f for %v", c, full, ord)
+	}
+}
+
+func TestBestBeamLargeQuery(t *testing.T) {
+	// 8-variable chain: 40320 orders; beam must return something sane fast.
+	atoms := make([]core.Atom, 7)
+	rels := map[string]*rel.Relation{}
+	for i := range atoms {
+		name := string(rune('A' + i))
+		atoms[i] = core.NewAtom(name,
+			core.V(string(rune('a'+i))), core.V(string(rune('a'+i+1))))
+		rels[name] = randGraph(name, 120, 12, int64(95+i))
+	}
+	q := core.MustQuery("Chain", nil, atoms)
+	e, err := NewEstimator(q, rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, c, err := e.BestBeam(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ord) != 8 || c <= 0 {
+		t.Fatalf("beam = %v cost %f", ord, c)
+	}
+	// Beam should not be worse than the average of a few random orders.
+	worse := 0
+	for _, r := range e.RandomOrders(10, 5) {
+		rc, err := e.Cost(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc >= c {
+			worse++
+		}
+	}
+	if worse < 5 {
+		t.Fatalf("beam order (cost %f) beat only %d of 10 random orders", c, worse)
+	}
+}
+
+func TestBestBeamErrors(t *testing.T) {
+	q := pathQuery()
+	e, _ := NewEstimator(q, map[string]*rel.Relation{
+		"R": randGraph("R", 20, 5, 99), "S": randGraph("S", 20, 5, 98)})
+	if _, _, err := e.BestBeam(0); err == nil {
+		t.Error("zero width should error")
+	}
+}

@@ -1,0 +1,58 @@
+package order
+
+import (
+	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+)
+
+func benchEstimator(b *testing.B) *Estimator {
+	b.Helper()
+	q := core.MustQuery("Triangle", nil, []core.Atom{
+		core.NewAtom("R", core.V("x"), core.V("y")),
+		core.NewAtom("S", core.V("y"), core.V("z")),
+		core.NewAtom("T", core.V("z"), core.V("x")),
+	})
+	rels := map[string]*rel.Relation{
+		"R": randGraph("R", 20000, 2000, 301),
+		"S": randGraph("S", 20000, 2000, 302),
+		"T": randGraph("T", 20000, 2000, 303),
+	}
+	e, err := NewEstimator(q, rels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkCostColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e := benchEstimator(b)
+		b.StartTimer()
+		if _, err := e.Cost([]core.Var{"x", "y", "z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestExhaustive(b *testing.B) {
+	e := benchEstimator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Best(1000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBestBeam(b *testing.B) {
+	e := benchEstimator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.BestBeam(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

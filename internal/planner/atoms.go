@@ -1,0 +1,340 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+
+	"parajoin/internal/core"
+	"parajoin/internal/engine"
+	"parajoin/internal/rel"
+)
+
+// builder accumulates one plan.
+type builder struct {
+	p    *Planner
+	q    *core.Query
+	plan *engine.Plan
+
+	nextID int
+	atoms  []*atomInfo
+	// appliedFilters marks query filters already enforced somewhere in the
+	// plan, so they are applied exactly once at the earliest opportunity.
+	appliedFilters []bool
+}
+
+// atomInfo caches everything the strategies need about one atom.
+type atomInfo struct {
+	atom core.Atom
+	// baseSchema is the stored relation's column names.
+	baseSchema rel.Schema
+	// vars are the atom's distinct variables in first-occurrence order —
+	// the schema of the atom's variable-layout stream.
+	vars []core.Var
+	// est estimates the atom's cardinality and per-variable distinct counts
+	// after constant selections.
+	est estRel
+}
+
+// estRel is a cardinality estimate with per-variable distinct counts, the
+// standard System-R style statistics the greedy join-order heuristic uses.
+type estRel struct {
+	card     float64
+	distinct map[core.Var]float64
+}
+
+func (b *builder) prepareAtoms() error {
+	b.appliedFilters = make([]bool, len(b.q.Filters))
+	for _, a := range b.q.Atoms {
+		st := b.p.Catalog.Get(a.Relation)
+		if st == nil {
+			return fmt.Errorf("planner: no statistics for relation %q", a.Relation)
+		}
+		var schema rel.Schema
+		if b.p.Relations != nil && b.p.Relations[a.Relation] != nil {
+			schema = b.p.Relations[a.Relation].Schema
+		} else {
+			// Fall back to positional names when only statistics exist.
+			schema = make(rel.Schema, len(a.Terms))
+			for i := range schema {
+				schema[i] = fmt.Sprintf("c%d", i)
+			}
+		}
+		if len(schema) != len(a.Terms) {
+			return fmt.Errorf("planner: atom %s has %d terms, relation %s arity %d",
+				a, len(a.Terms), a.Relation, len(schema))
+		}
+
+		info := &atomInfo{atom: a, baseSchema: schema, vars: a.Vars()}
+		info.est = estRel{card: float64(st.Cardinality), distinct: map[core.Var]float64{}}
+		for i, term := range a.Terms {
+			if !term.IsVar {
+				// Constant selection: assume uniformity over the column's
+				// distinct values.
+				d := float64(st.ColumnDistinct[i])
+				if d > 0 {
+					info.est.card /= d
+				}
+			}
+		}
+		if info.est.card < 1 {
+			info.est.card = 1
+		}
+		for _, v := range info.vars {
+			pos := a.VarPositions(v)[0]
+			d := float64(st.ColumnDistinct[pos])
+			if d > info.est.card {
+				d = info.est.card
+			}
+			info.est.distinct[v] = d
+		}
+		// Pushed-down single-variable filters shrink the estimate too.
+		for fi, f := range b.q.Filters {
+			if f.Right.IsVar || !a.HasVar(f.Left) {
+				continue
+			}
+			_ = fi
+			// A range/inequality filter: use the textbook 1/3 selectivity
+			// for inequalities and 1/V for equality.
+			switch f.Op {
+			case core.Eq:
+				if d := info.est.distinct[f.Left]; d > 0 {
+					info.est.card /= d
+				}
+			default:
+				info.est.card /= 3
+			}
+			if info.est.card < 1 {
+				info.est.card = 1
+			}
+		}
+		b.atoms = append(b.atoms, info)
+	}
+	return nil
+}
+
+// allocExchange registers an exchange and returns its id.
+func (b *builder) allocExchange(spec engine.ExchangeSpec) int {
+	spec.ID = b.nextID
+	if spec.Seed == 0 {
+		spec.Seed = uint64(spec.ID)*0x9e3779b97f4a7c15 + 1
+	}
+	b.nextID++
+	b.plan.Exchanges = append(b.plan.Exchanges, spec)
+	return spec.ID
+}
+
+// termNode builds the atom's term-layout stream: the stored relation with
+// constant selections, repeated-variable equalities, and pushed-down
+// single-variable filters applied, all columns kept (so the arity matches
+// the atom for HyperCube routing and Tributary normalization).
+func (b *builder) termNode(i int) engine.Node {
+	info := b.atoms[i]
+	var node engine.Node = engine.Scan{Table: info.atom.Relation}
+	var filters []engine.ColFilter
+	firstPos := map[core.Var]int{}
+	for pos, term := range info.atom.Terms {
+		if !term.IsVar {
+			filters = append(filters, engine.ColFilter{
+				Left: info.baseSchema[pos], Op: core.Eq, Const: term.Const,
+			})
+			continue
+		}
+		if fp, ok := firstPos[term.Var]; ok {
+			filters = append(filters, engine.ColFilter{
+				Left: info.baseSchema[pos], Op: core.Eq, RightCol: info.baseSchema[fp],
+			})
+		} else {
+			firstPos[term.Var] = pos
+		}
+	}
+	// Selection pushdown for single-variable constant filters (the paper
+	// pushes σ on year and name below the shuffles).
+	for _, f := range b.q.Filters {
+		if f.Right.IsVar {
+			continue
+		}
+		if pos, ok := firstPos[f.Left]; ok {
+			filters = append(filters, engine.ColFilter{
+				Left: info.baseSchema[pos], Op: f.Op, Const: f.Right.Const,
+			})
+		}
+	}
+	if len(filters) > 0 {
+		node = engine.Select{Input: node, Filters: filters}
+	}
+	return node
+}
+
+// varNode builds the atom's variable-layout stream: termNode projected to
+// the distinct variables, renamed to the variable names.
+func (b *builder) varNode(i int) engine.Node {
+	info := b.atoms[i]
+	cols := make([]string, len(info.vars))
+	as := make([]string, len(info.vars))
+	for j, v := range info.vars {
+		cols[j] = info.baseSchema[info.atom.VarPositions(v)[0]]
+		as[j] = string(v)
+	}
+	return engine.Project{Input: b.termNode(i), Cols: cols, As: as}
+}
+
+// varSchema is the schema of an atom's variable-layout stream.
+func (info *atomInfo) varSchema() rel.Schema {
+	s := make(rel.Schema, len(info.vars))
+	for i, v := range info.vars {
+		s[i] = string(v)
+	}
+	return s
+}
+
+// projectRecvToVars renames a term-layout Recv back to variable layout.
+func (b *builder) projectRecvToVars(i int, recv engine.Node) engine.Node {
+	info := b.atoms[i]
+	cols := make([]string, len(info.vars))
+	as := make([]string, len(info.vars))
+	for j, v := range info.vars {
+		cols[j] = info.baseSchema[info.atom.VarPositions(v)[0]]
+		as[j] = string(v)
+	}
+	return engine.Project{Input: recv, Cols: cols, As: as}
+}
+
+// applyReadyFilters wraps node with the not-yet-applied filters whose
+// variables are all present in schema, marking them applied.
+func (b *builder) applyReadyFilters(node engine.Node, schema rel.Schema) engine.Node {
+	has := func(v core.Var) bool { return schema.IndexOf(string(v)) >= 0 }
+	var fs []engine.ColFilter
+	for i, f := range b.q.Filters {
+		if b.appliedFilters[i] || !has(f.Left) {
+			continue
+		}
+		cf := engine.ColFilter{Left: string(f.Left), Op: f.Op, Const: f.Right.Const}
+		if f.Right.IsVar {
+			if !has(f.Right.Var) {
+				continue
+			}
+			cf.RightCol = string(f.Right.Var)
+		}
+		fs = append(fs, cf)
+		b.appliedFilters[i] = true
+	}
+	if len(fs) == 0 {
+		return node
+	}
+	return engine.Select{Input: node, Filters: fs}
+}
+
+// finalize projects the (variable-layout) node to the query head, adding a
+// per-worker dedup for projection queries, and installs it as the plan
+// root.
+func (b *builder) finalize(node engine.Node, schema rel.Schema) {
+	node = b.applyReadyFilters(node, schema)
+	head := b.q.HeadVars()
+	cols := make([]string, len(head))
+	for i, h := range head {
+		cols[i] = string(h)
+	}
+	if !schemaEqualsCols(schema, cols) || !b.q.IsFull() {
+		b.plan.Root = engine.Project{Input: node, Cols: cols, Dedup: !b.q.IsFull()}
+		return
+	}
+	b.plan.Root = node
+}
+
+func schemaEqualsCols(s rel.Schema, cols []string) bool {
+	if len(s) != len(cols) {
+		return false
+	}
+	for i := range s {
+		if s[i] != cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyAtomOrder orders atoms for a left-deep binary-join tree: start with
+// the smallest estimated atom, then repeatedly add the connected atom that
+// minimizes the estimated intermediate size.
+func (b *builder) greedyAtomOrder() ([]int, error) {
+	n := len(b.atoms)
+	used := make([]bool, n)
+	first := 0
+	for i := 1; i < n; i++ {
+		if b.atoms[i].est.card < b.atoms[first].est.card {
+			first = i
+		}
+	}
+	orderIdx := []int{first}
+	used[first] = true
+	cur := b.atoms[first].est
+	curVars := map[core.Var]bool{}
+	for _, v := range b.atoms[first].vars {
+		curVars[v] = true
+	}
+	for len(orderIdx) < n {
+		best := -1
+		bestEst := estRel{}
+		bestCard := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			shared := sharedVars(curVars, b.atoms[i].vars)
+			if len(shared) == 0 {
+				continue
+			}
+			e := joinEstimate(cur, b.atoms[i].est, shared)
+			if e.card < bestCard {
+				best, bestEst, bestCard = i, e, e.card
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("planner: query %s is disconnected; cartesian plans are not supported", b.q.Name)
+		}
+		orderIdx = append(orderIdx, best)
+		used[best] = true
+		cur = bestEst
+		for _, v := range b.atoms[best].vars {
+			curVars[v] = true
+		}
+	}
+	return orderIdx, nil
+}
+
+func sharedVars(have map[core.Var]bool, vs []core.Var) []core.Var {
+	var shared []core.Var
+	for _, v := range vs {
+		if have[v] {
+			shared = append(shared, v)
+		}
+	}
+	return shared
+}
+
+// joinEstimate is the textbook equijoin estimate: |A||B| / Π max distinct.
+func joinEstimate(a, b estRel, shared []core.Var) estRel {
+	card := a.card * b.card
+	for _, v := range shared {
+		m := a.distinct[v]
+		if b.distinct[v] > m {
+			m = b.distinct[v]
+		}
+		if m > 1 {
+			card /= m
+		}
+	}
+	if card < 1 {
+		card = 1
+	}
+	out := estRel{card: card, distinct: map[core.Var]float64{}}
+	for v, d := range a.distinct {
+		out.distinct[v] = math.Min(d, card)
+	}
+	for v, d := range b.distinct {
+		if prev, ok := out.distinct[v]; !ok || d < prev {
+			out.distinct[v] = math.Min(d, card)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package planner
+
+import (
+	"fmt"
+
+	"parajoin/internal/engine"
+	"parajoin/internal/rel"
+)
+
+// WrapCount rewrites a planned query so each worker emits a single count
+// instead of its result tuples; the client sums the per-worker counts. For
+// full conjunctive queries every match materializes on exactly one worker,
+// so counting locally is exact. Projection queries dedup per worker only,
+// so the head tuples are first re-partitioned by a hash of the head
+// columns, deduplicated, and then counted — still never materialized at
+// one site.
+//
+// This is the evaluation mode the paper's motivating workload wants:
+// graphlet *frequencies*, not graphlet listings.
+func WrapCount(res *Result, isFull bool, headCols []string) error {
+	if len(res.Rounds) == 0 {
+		return fmt.Errorf("planner: WrapCount needs a planned query")
+	}
+	final := &res.Rounds[len(res.Rounds)-1]
+	if final.StoreAs != "" {
+		return fmt.Errorf("planner: final round stores its result; cannot count")
+	}
+	if isFull {
+		final.Plan.Root = engine.Count{Input: final.Plan.Root}
+		return nil
+	}
+	// Projection: global dedup via one more hash exchange on the head.
+	maxID := -1
+	for _, ex := range final.Plan.Exchanges {
+		if ex.ID > maxID {
+			maxID = ex.ID
+		}
+	}
+	id := maxID + 1
+	final.Plan.Exchanges = append(final.Plan.Exchanges, engine.ExchangeSpec{
+		ID:    id,
+		Name:  "count: head tuples",
+		Input: final.Plan.Root,
+		Kind:  engine.RouteHash, HashCols: headCols,
+		Seed: 0x94d049bb133111eb,
+	})
+	final.Plan.Root = engine.Count{
+		Input: engine.Project{
+			Input: engine.Recv{Exchange: id, Schema: rel.Schema(headCols)},
+			Cols:  headCols,
+			Dedup: true,
+		},
+	}
+	return nil
+}

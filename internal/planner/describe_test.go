@@ -1,0 +1,71 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"parajoin/internal/core"
+)
+
+func TestDescribeSingleRound(t *testing.T) {
+	q := core.MustParseRule("Triangle(x,y,z) :- R(x,y), S(y,z), T(z,x)", nil)
+	db := newTestDB(t, 4,
+		randGraph("R", 100, 20, 60),
+		randGraph("S", 100, 20, 61),
+		randGraph("T", 100, 20, 62),
+	)
+	res, err := db.planner.Plan(q, HCTJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(res)
+	for _, want := range []string{"plan HC_TJ", "hypercube", "tributary join", "recv exchange", "scan R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	if Describe(res) != out {
+		t.Error("Describe is not deterministic")
+	}
+}
+
+func TestDescribeMultiRound(t *testing.T) {
+	q := core.MustParseRule("P(x,y,z) :- R(x,y), S(y,z)", nil)
+	db := newTestDB(t, 3,
+		randGraph("R", 100, 20, 63),
+		randGraph("S", 100, 20, 64),
+	)
+	res, err := db.planner.Plan(q, SemiJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(res)
+	for _, want := range []string{"round 0", "store __semi", "semijoin on", "final join", "hash join"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeRSWithFilters(t *testing.T) {
+	q := core.MustQuery("Q", nil,
+		[]core.Atom{
+			core.NewAtom("R", core.V("x"), core.V("f1")),
+			core.NewAtom("S", core.V("x"), core.V("f2")),
+		},
+		core.Filter{Left: "f1", Op: core.Gt, Right: core.V("f2")},
+	)
+	db := newTestDB(t, 2,
+		randGraph("R", 50, 10, 65),
+		randGraph("S", 50, 10, 66),
+	)
+	res, err := db.planner.Plan(q, RSHJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Describe(res)
+	if !strings.Contains(out, "select f1>f2") {
+		t.Errorf("Describe output missing filter:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"fmt"
+
+	"parajoin/internal/core"
+	"parajoin/internal/engine"
+	"parajoin/internal/rel"
+)
+
+// buildSemijoin builds the distributed Yannakakis reduction of Section 3.6
+// (following the GYM formulation the paper implements): a GHD/join tree via
+// GYO ear removal, a bottom-up semijoin pass, a top-down semijoin pass, and
+// a final join of the reduced relations. Every semijoin is its own
+// communication round — shuffle the reducee and the projected,
+// deduplicated key set of the reducer on the shared attributes, semijoin
+// locally, materialize. This is exactly why the paper finds semijoin plans
+// slow: "the extra cost of additional rounds of communication canceled all
+// savings".
+func (b *builder) buildSemijoin(res *Result) error {
+	tree, ok := core.GYOReduce(b.q)
+	if !ok {
+		return fmt.Errorf("planner: query %s is cyclic; semijoin reduction requires an acyclic query", b.q.Name)
+	}
+
+	srcs := make([]engine.Node, len(b.atoms))
+	schemas := make([]rel.Schema, len(b.atoms))
+	for i := range b.atoms {
+		srcs[i] = b.varNode(i)
+		schemas[i] = b.atoms[i].varSchema()
+	}
+
+	tmpCount := 0
+	// step reduces atom li by atom rj (li ⋉ rj) in one round.
+	step := func(phase string, li, rj int) error {
+		shared := intersectSchemas(schemas[li], schemas[rj])
+		if len(shared) == 0 {
+			return fmt.Errorf("planner: join-tree edge %s–%s shares no variables",
+				b.atoms[li].atom, b.atoms[rj].atom)
+		}
+		b.plan = &engine.Plan{}
+		b.nextID = 0
+		const seed = 0x6a09e667f3bcc909
+		exL := b.allocExchange(engine.ExchangeSpec{
+			Name:  fmt.Sprintf("%s: shuffle %s", phase, b.atoms[li].atom),
+			Input: srcs[li], Kind: engine.RouteHash, HashCols: shared, Seed: seed,
+		})
+		exR := b.allocExchange(engine.ExchangeSpec{
+			Name:  fmt.Sprintf("%s: shuffle π%v(%s)", phase, shared, b.atoms[rj].atom),
+			Input: engine.Project{Input: srcs[rj], Cols: shared, Dedup: true},
+			Kind:  engine.RouteHash, HashCols: shared, Seed: seed,
+		})
+		b.plan.Root = engine.SemiJoin{
+			Left:     engine.Recv{Exchange: exL, Schema: schemas[li]},
+			Right:    engine.Recv{Exchange: exR, Schema: rel.Schema(shared)},
+			LeftCols: shared, RightCols: shared,
+		}
+		tmp := fmt.Sprintf("__semi%d_%s", tmpCount, b.atoms[li].atom.Alias)
+		tmpCount++
+		res.Rounds = append(res.Rounds, engine.Round{
+			Name: fmt.Sprintf("%s %s ⋉ %s", phase, b.atoms[li].atom.Alias, b.atoms[rj].atom.Alias),
+			Plan: b.plan, StoreAs: tmp,
+		})
+		srcs[li] = engine.Scan{Table: tmp}
+		return nil
+	}
+
+	// Bottom-up: children reduce their parents, leaves first.
+	for k := len(tree.Order) - 1; k >= 0; k-- {
+		i := tree.Order[k]
+		if p := tree.Parent[i]; p >= 0 {
+			if err := step("bottom-up", p, i); err != nil {
+				return err
+			}
+		}
+	}
+	// Top-down: parents reduce their children, root first.
+	for _, i := range tree.Order {
+		if p := tree.Parent[i]; p >= 0 {
+			if err := step("top-down", i, p); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Final joins of the fully reduced relations, left-deep in pre-order so
+	// every join has shared variables (running intersection).
+	b.plan = &engine.Plan{}
+	b.nextID = 0
+	root := tree.Order[0]
+	accNode := srcs[root]
+	accSchema := schemas[root]
+	for stepIdx, i := range tree.Order[1:] {
+		shared := intersectSchemas(accSchema, schemas[i])
+		if len(shared) == 0 {
+			return fmt.Errorf("planner: final join of %s shares no variables", b.atoms[i].atom)
+		}
+		seed := uint64(stepIdx)*0x9e3779b97f4a7c15 + 0x452821e638d01377
+		exL := b.allocExchange(engine.ExchangeSpec{
+			Name:  fmt.Sprintf("final: %s->h(%v)", describeSchema(accSchema), shared),
+			Input: accNode, Kind: engine.RouteHash, HashCols: shared, Seed: seed,
+		})
+		exR := b.allocExchange(engine.ExchangeSpec{
+			Name:  fmt.Sprintf("final: %s->h(%v)", b.atoms[i].atom, shared),
+			Input: srcs[i], Kind: engine.RouteHash, HashCols: shared, Seed: seed,
+		})
+		node := engine.HashJoin{
+			Left:     engine.Recv{Exchange: exL, Schema: accSchema},
+			Right:    engine.Recv{Exchange: exR, Schema: schemas[i]},
+			LeftCols: shared, RightCols: shared,
+		}
+		accSchema = joinedSchema(accSchema, schemas[i], shared)
+		accNode = b.applyReadyFilters(node, accSchema)
+	}
+	b.finalize(accNode, accSchema)
+	res.Rounds = append(res.Rounds, engine.Round{Name: "final join", Plan: b.plan})
+	return nil
+}
+
+func intersectSchemas(a, b rel.Schema) []string {
+	var out []string
+	for _, c := range a {
+		if b.IndexOf(c) >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package planner
+
+import (
+	"sort"
+
+	"parajoin/internal/core"
+	"parajoin/internal/stats"
+)
+
+// Heavy-hitter detection for the skew-aware regular shuffle (the technique
+// the paper's footnote 2 mentions). A key value of variable v is heavy when
+// its frequency in some base relation column bound to v would overload a
+// single worker: frequency > c·(|R|/N).
+
+const (
+	// heavyFactor: a key whose frequency exceeds this multiple of |R|/N is
+	// heavy — at 1.0, any key that alone fills a worker's fair share (and
+	// therefore bounds the achievable balance) is treated specially.
+	heavyFactor  = 1.0
+	maxHeavyKeys = 64 // cap the broadcast-side replication
+)
+
+// heavyKeys returns the heavy values of variable v across every base
+// relation column bound to v, heaviest first, capped at maxHeavyKeys. The
+// frequencies come from a Misra–Gries sketch (stats.HeavyHitters) rather
+// than full frequency maps: O(workers) memory per column, with the sketch's
+// guarantee that every key above the threshold survives.
+func (b *builder) heavyKeys(v core.Var) []int64 {
+	if b.p.Relations == nil || b.p.Workers < 2 {
+		return nil
+	}
+	worst := map[int64]float64{} // frequency relative to threshold
+	for _, info := range b.atoms {
+		if !info.atom.HasVar(v) {
+			continue
+		}
+		r := b.p.Relations[info.atom.Relation]
+		if r == nil {
+			continue
+		}
+		col := info.atom.VarPositions(v)[0]
+		threshold := heavyFactor * float64(r.Cardinality()) / float64(b.p.Workers)
+		if threshold < 2 {
+			threshold = 2
+		}
+		// Capacity chosen so the sketch's error bound n/(cap+1) sits well
+		// below the threshold: cap = 4·N/heavyFactor keeps every true heavy
+		// hitter in the sketch.
+		sk := stats.NewHeavyHitters(4 * b.p.Workers)
+		for _, t := range r.Tuples {
+			sk.Add(t[col])
+		}
+		for _, hit := range sk.Above(int64(threshold)) {
+			if rel := float64(hit.Count) / threshold; rel > worst[hit.Key] {
+				worst[hit.Key] = rel
+			}
+		}
+	}
+	if len(worst) == 0 {
+		return nil
+	}
+	keys := make([]int64, 0, len(worst))
+	for val := range worst {
+		keys = append(keys, val)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if worst[keys[i]] != worst[keys[j]] {
+			return worst[keys[i]] > worst[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > maxHeavyKeys {
+		keys = keys[:maxHeavyKeys]
+	}
+	return keys
+}

@@ -1,0 +1,116 @@
+package planner
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/ljoin"
+	"parajoin/internal/rel"
+)
+
+// hubGraph builds a graph with one extremely hot destination node.
+func hubGraph(name string, n int, seed int64) *rel.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	e := rel.New(name, "src", "dst")
+	for i := 0; i < n; i++ {
+		dst := rng.Int63n(200)
+		if i%3 == 0 {
+			dst = 0 // the hub: a third of all edges point at it
+		}
+		e.AppendRow(rng.Int63n(5000), dst)
+	}
+	return e.Dedup()
+}
+
+func TestSkewAwarePlanCorrect(t *testing.T) {
+	e := hubGraph("E", 4000, 80)
+	q := core.MustParseRule("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)", nil)
+	db := newTestDB(t, 8, e)
+
+	want, err := ljoin.NaiveEvaluate(q, map[string]*rel.Relation{
+		"E": e, "E#2": e, "E#3": e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.planner.Plan(q, RSHJSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := db.cluster.RunRounds(context.Background(), res.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Dedup()
+	if !got.Equal(want) {
+		t.Fatalf("skew-aware plan: %d tuples, naive %d", got.Cardinality(), want.Cardinality())
+	}
+}
+
+func TestSkewAwareReducesConsumerSkew(t *testing.T) {
+	e := hubGraph("E", 6000, 81)
+	q := core.MustParseRule("P(x,y,z) :- E(x,y), E(y,z)", nil)
+	db := newTestDB(t, 8, e)
+
+	plain, err := db.planner.Plan(q, RSHJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plainRep, err := db.cluster.RunRounds(context.Background(), plain.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := db.planner.Plan(q, RSHJSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, skewRep, err := db.cluster.RunRounds(context.Background(), skew.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewRep.MaxConsumerSkew() >= plainRep.MaxConsumerSkew() {
+		t.Fatalf("skew-aware consumer skew %.2f should beat plain %.2f",
+			skewRep.MaxConsumerSkew(), plainRep.MaxConsumerSkew())
+	}
+}
+
+func TestSkewAwareFallsBackWithoutHeavyKeys(t *testing.T) {
+	// Uniform data: no heavy keys, so the plan must be plain hash routing.
+	db := newTestDB(t, 4,
+		randGraph("R", 300, 290, 82), // nearly unique keys
+		randGraph("S", 300, 290, 83),
+	)
+	q := core.MustParseRule("P(x,y,z) :- R(x,y), S(y,z)", nil)
+	res, err := db.planner.Plan(q, RSHJSkew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range res.Plan.Exchanges {
+		if ex.Skew != nil {
+			t.Fatalf("uniform data produced a skew exchange: %s", ex.Name)
+		}
+	}
+}
+
+func TestHeavyKeysDetection(t *testing.T) {
+	e := hubGraph("E", 4000, 84)
+	q := core.MustParseRule("P(x,y,z) :- E(x,y), E(y,z)", nil)
+	db := newTestDB(t, 8, e)
+	b := &builder{p: db.planner, q: q, plan: nil}
+	if err := b.prepareAtoms(); err != nil {
+		t.Fatal(err)
+	}
+	heavy := b.heavyKeys("y")
+	if len(heavy) == 0 {
+		t.Fatal("the hub must be detected")
+	}
+	if heavy[0] != 0 {
+		t.Fatalf("heaviest key = %d, want the hub 0", heavy[0])
+	}
+	// src is nearly uniform: no heavy keys expected there.
+	if got := b.heavyKeys("x"); len(got) != 0 {
+		t.Fatalf("x unexpectedly has heavy keys: %v", got)
+	}
+}

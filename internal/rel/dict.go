@@ -1,0 +1,68 @@
+package rel
+
+import "sync"
+
+// Dict is a string dictionary: it assigns each distinct string a stable
+// int64 code. String-valued attributes are encoded through a Dict before
+// they enter a Relation, so the engine, shuffles, and joins only ever handle
+// integers. Selection on a string constant ("Joe Pesci") becomes an integer
+// equality on the constant's code, exactly the pushed-down-selection
+// treatment the paper applies to the Freebase ObjectName relation.
+//
+// Dict is safe for concurrent use.
+type Dict struct {
+	mu    sync.RWMutex
+	codes map[string]int64
+	names []string
+}
+
+// NewDict returns an empty dictionary. Codes start at 0.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Code returns the code for s, assigning a fresh one when s is new.
+func (d *Dict) Code(s string) int64 {
+	d.mu.RLock()
+	c, ok := d.codes[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok = d.codes[s]; ok {
+		return c
+	}
+	c = int64(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+// Lookup returns the code for s without assigning one. ok is false when s
+// was never encoded.
+func (d *Dict) Lookup(s string) (code int64, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Name returns the string behind a code, or "" when the code was never
+// assigned.
+func (d *Dict) Name(code int64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if code < 0 || code >= int64(len(d.names)) {
+		return ""
+	}
+	return d.names[code]
+}
+
+// Len returns the number of distinct strings encoded so far.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.names)
+}

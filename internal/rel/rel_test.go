@@ -1,0 +1,287 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{1, 2}, Tuple{1, 2}, 0},
+		{Tuple{1, 2}, Tuple{1, 3}, -1},
+		{Tuple{2, 0}, Tuple{1, 9}, 1},
+		{Tuple{}, Tuple{}, 0},
+		{Tuple{-5}, Tuple{5}, -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestTupleCompareArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing tuples of different arity should panic")
+		}
+	}()
+	Tuple{1}.Compare(Tuple{1, 2})
+}
+
+func TestTupleProject(t *testing.T) {
+	got := Tuple{10, 20, 30}.Project([]int{2, 0, 2})
+	if !got.Equal(Tuple{30, 10, 30}) {
+		t.Fatalf("Project = %v", got)
+	}
+}
+
+func TestTupleCloneIndependent(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{"x", "y", "z"}
+	if s.IndexOf("y") != 1 {
+		t.Errorf("IndexOf(y) = %d", s.IndexOf("y"))
+	}
+	if s.IndexOf("w") != -1 {
+		t.Errorf("IndexOf(w) = %d", s.IndexOf("w"))
+	}
+}
+
+func TestRelationAppendArityPanics(t *testing.T) {
+	r := New("R", "x", "y")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending a wrong-arity tuple should panic")
+		}
+	}()
+	r.Append(Tuple{1})
+}
+
+func TestSortAndIsSorted(t *testing.T) {
+	r := New("R", "x", "y")
+	r.AppendRow(3, 1)
+	r.AppendRow(1, 2)
+	r.AppendRow(1, 1)
+	if r.IsSorted() {
+		t.Fatal("relation should not be sorted yet")
+	}
+	r.Sort()
+	if !r.IsSorted() {
+		t.Fatal("relation should be sorted")
+	}
+	want := []Tuple{{1, 1}, {1, 2}, {3, 1}}
+	for i, w := range want {
+		if !r.Tuples[i].Equal(w) {
+			t.Errorf("tuple %d = %v, want %v", i, r.Tuples[i], w)
+		}
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	r := New("R", "x", "y")
+	r.AppendRow(1, 9)
+	r.AppendRow(2, 1)
+	r.AppendRow(1, 3)
+	r.SortBy([]int{1})
+	want := []Tuple{{2, 1}, {1, 3}, {1, 9}}
+	for i, w := range want {
+		if !r.Tuples[i].Equal(w) {
+			t.Errorf("tuple %d = %v, want %v", i, r.Tuples[i], w)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	r := New("R", "x")
+	for _, v := range []int64{5, 1, 5, 1, 5, 9} {
+		r.AppendRow(v)
+	}
+	r.Dedup()
+	if r.Cardinality() != 3 {
+		t.Fatalf("Dedup left %d tuples, want 3", r.Cardinality())
+	}
+}
+
+func TestProjectNames(t *testing.T) {
+	r := New("R", "x", "y", "z")
+	r.AppendRow(1, 2, 3)
+	p := r.ProjectNames("P", "z", "x")
+	if !p.Schema.Equal(Schema{"z", "x"}) {
+		t.Fatalf("schema = %v", p.Schema)
+	}
+	if !p.Tuples[0].Equal(Tuple{3, 1}) {
+		t.Fatalf("tuple = %v", p.Tuples[0])
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := New("R", "x")
+	for i := int64(0); i < 10; i++ {
+		r.AppendRow(i)
+	}
+	s := r.Select("S", func(t Tuple) bool { return t[0]%2 == 0 })
+	if s.Cardinality() != 5 {
+		t.Fatalf("Select kept %d, want 5", s.Cardinality())
+	}
+}
+
+func TestRenameSharesTuples(t *testing.T) {
+	r := New("R", "x", "y")
+	r.AppendRow(1, 2)
+	a := r.Rename("A", "u", "v")
+	if a.Name != "A" || !a.Schema.Equal(Schema{"u", "v"}) {
+		t.Fatalf("rename produced %v", a)
+	}
+	if &a.Tuples[0][0] != &r.Tuples[0][0] {
+		t.Fatal("Rename should share tuple storage")
+	}
+}
+
+func TestRelationEqualIgnoresOrder(t *testing.T) {
+	a := New("A", "x")
+	b := New("B", "y")
+	for _, v := range []int64{1, 2, 3} {
+		a.AppendRow(v)
+	}
+	for _, v := range []int64{3, 1, 2} {
+		b.AppendRow(v)
+	}
+	if !a.Equal(b) {
+		t.Fatal("relations with same bag should be Equal")
+	}
+	b.AppendRow(3)
+	if a.Equal(b) {
+		t.Fatal("different cardinalities should not be Equal")
+	}
+}
+
+func TestHashPartitionRoundTrip(t *testing.T) {
+	r := New("R", "x", "y")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		r.AppendRow(rng.Int63n(100), rng.Int63n(100))
+	}
+	frags := r.HashPartition(8, []int{0}, 42)
+	if got := Concat("R", frags); !got.Equal(r) {
+		t.Fatal("hash partition lost or duplicated tuples")
+	}
+	// Co-location: equal keys land in the same fragment.
+	loc := make(map[int64]int)
+	for i, f := range frags {
+		for _, tp := range f.Tuples {
+			if prev, ok := loc[tp[0]]; ok && prev != i {
+				t.Fatalf("key %d in fragments %d and %d", tp[0], prev, i)
+			}
+			loc[tp[0]] = i
+		}
+	}
+}
+
+func TestRoundRobinPartitionBalance(t *testing.T) {
+	r := New("R", "x")
+	for i := int64(0); i < 103; i++ {
+		r.AppendRow(i)
+	}
+	frags := r.RoundRobinPartition(10)
+	total := 0
+	for _, f := range frags {
+		total += f.Cardinality()
+		if f.Cardinality() < 10 || f.Cardinality() > 11 {
+			t.Errorf("fragment has %d tuples, want 10 or 11", f.Cardinality())
+		}
+	}
+	if total != 103 {
+		t.Fatalf("fragments hold %d tuples, want 103", total)
+	}
+}
+
+func TestHash64SeedsDiffer(t *testing.T) {
+	// Different seeds should produce (practically always) different hashes
+	// of the same value — that is the independence the HyperCube needs.
+	same := 0
+	for v := int64(0); v < 1000; v++ {
+		if Hash64(1, v)%64 == Hash64(2, v)%64 {
+			same++
+		}
+	}
+	// Expected collisions for independent hashes: ~1000/64 ≈ 16.
+	if same > 60 {
+		t.Fatalf("seeds 1 and 2 agree on %d of 1000 buckets; hashes not independent", same)
+	}
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Code("alpha")
+	b := d.Code("beta")
+	if a == b {
+		t.Fatal("distinct strings share a code")
+	}
+	if d.Code("alpha") != a {
+		t.Fatal("Code is not stable")
+	}
+	if d.Name(a) != "alpha" || d.Name(b) != "beta" {
+		t.Fatal("Name does not invert Code")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup invented a code")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if d.Name(99) != "" {
+		t.Fatal("Name of unknown code should be empty")
+	}
+}
+
+// Property: sorting then dedup yields a sorted, duplicate-free relation that
+// is a sub-bag of the input with the same distinct tuples.
+func TestDedupProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		r := New("R", "x")
+		distinct := make(map[int64]bool)
+		for _, v := range vals {
+			r.AppendRow(int64(v))
+			distinct[int64(v)] = true
+		}
+		r.Dedup()
+		if r.Cardinality() != len(distinct) {
+			return false
+		}
+		return r.IsSorted()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: partitioning preserves the bag of tuples for any p and key set.
+func TestHashPartitionProperty(t *testing.T) {
+	f := func(vals []int16, pRaw uint8) bool {
+		p := int(pRaw%16) + 1
+		r := New("R", "x", "y")
+		for i, v := range vals {
+			r.AppendRow(int64(v), int64(i))
+		}
+		return Concat("R", r.HashPartition(p, []int{0}, 7)).Equal(r) &&
+			Concat("R", r.RoundRobinPartition(p)).Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

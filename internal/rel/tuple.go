@@ -1,0 +1,68 @@
+// Package rel provides the tuple and relation representation used throughout
+// parajoin: fixed-arity rows of int64 values, plus the sorting, partitioning,
+// and set-style helpers the shuffle and join layers are built on.
+//
+// All attribute values are int64. String-valued attributes (for example the
+// name column of a knowledge-base relation) are dictionary-encoded with Dict
+// before they enter a Relation, mirroring how column stores and the paper's
+// evaluation treat selections on string constants: the constant is translated
+// to its code once, and the rest of the pipeline only ever compares integers.
+package rel
+
+import "fmt"
+
+// Tuple is one row of a relation. Tuples are positional; the meaning of each
+// column comes from the Relation's Schema.
+type Tuple []int64
+
+// Clone returns a copy of t that shares no backing storage with it.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Compare orders two tuples lexicographically. It panics if the tuples have
+// different arities, because comparing tuples from different schemas is
+// always a caller bug.
+func (t Tuple) Compare(o Tuple) int {
+	if len(t) != len(o) {
+		panic(fmt.Sprintf("rel: comparing tuples of arity %d and %d", len(t), len(o)))
+	}
+	for i := range t {
+		switch {
+		case t[i] < o[i]:
+			return -1
+		case t[i] > o[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two tuples have the same arity and values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new tuple holding the columns of t at the given indexes,
+// in that order. Indexes may repeat.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+func (t Tuple) String() string {
+	return fmt.Sprint([]int64(t))
+}

@@ -1,0 +1,54 @@
+package shares
+
+import (
+	"testing"
+	"time"
+)
+
+// The paper reports Algorithm 1 computes configurations "in under 100 msec"
+// for 64 workers even on the 8-join queries; this bench checks we are in
+// the same regime.
+func BenchmarkOptimize64Workers(b *testing.B) {
+	q, cat := triangleSetup(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(q, cat, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveFractional(b *testing.B) {
+	q, cat := triangleSetup(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveFractional(q, cat, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomCellsWorkload(b *testing.B) {
+	q, cat := triangleSetup(100000)
+	alloc, err := RandomCells(q, cat, 64, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.Workload(q, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalCellsBudgeted(b *testing.B) {
+	q, cat := triangleSetup(1000)
+	cfg := Config{Vars: q.JoinVars(), Dims: []int{2, 2, 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalCells(q, cat, cfg, 4, 50*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

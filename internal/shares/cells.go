@@ -1,0 +1,319 @@
+package shares
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/stats"
+)
+
+// CellAllocation maps the cells of a virtual HyperCube configuration onto
+// physical workers: Assign[cell] = worker. The paper's Naïve Algorithms 2
+// and 3 both produce allocations with more cells than workers.
+type CellAllocation struct {
+	Config  Config
+	Workers int
+	Assign  []int
+}
+
+// RandomCells is the paper's Naïve Algorithm 2: solve the fractional LP for
+// m virtual cells, round down to an integral configuration with m1 ≤ m
+// cells, then deal the cells to the n physical workers at random. The deal
+// is balanced in cell count but oblivious to cell coordinates, which is what
+// makes it replicate data heavily (each worker's cells cover most of every
+// dimension, so it receives most of every relation — Appendix B of the
+// paper).
+func RandomCells(q *core.Query, cat *stats.Catalog, n, m int, seed int64) (*CellAllocation, error) {
+	cfg, err := RoundDown(q, cat, m)
+	if err != nil {
+		return nil, err
+	}
+	cells := cfg.Cells()
+	perm := rand.New(rand.NewSource(seed)).Perm(cells)
+	assign := make([]int, cells)
+	for i, c := range perm {
+		assign[c] = i % n
+	}
+	return &CellAllocation{Config: cfg, Workers: n, Assign: assign}, nil
+}
+
+// OneCellPerWorker wraps an integral configuration (from Optimize or
+// RoundDown) as the identity allocation.
+func OneCellPerWorker(cfg Config, n int) *CellAllocation {
+	cells := cfg.Cells()
+	assign := make([]int, cells)
+	for i := range assign {
+		assign[i] = i
+	}
+	return &CellAllocation{Config: cfg, Workers: n, Assign: assign}
+}
+
+// decodeCell returns the grid coordinates of a cell id under row-major
+// layout.
+func decodeCell(dims []int, cell int) []int {
+	coords := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		coords[i] = cell % dims[i]
+		cell /= dims[i]
+	}
+	return coords
+}
+
+// projKey packs the coordinates of a cell along the given dimension indexes
+// into one comparable key.
+func projKey(coords []int, dimIdx []int, dims []int) int64 {
+	key := int64(0)
+	for _, i := range dimIdx {
+		key = key*int64(dims[i]+1) + int64(coords[i])
+	}
+	return key
+}
+
+// atomDims returns, for every atom of q, the indexes of the configuration
+// dimensions whose variable the atom contains.
+func atomDims(q *core.Query, cfg Config) [][]int {
+	out := make([][]int, len(q.Atoms))
+	for j, a := range q.Atoms {
+		for i, v := range cfg.Vars {
+			if a.HasVar(v) {
+				out[j] = append(out[j], i)
+			}
+		}
+	}
+	return out
+}
+
+// Workload returns the expected maximum per-worker load of the allocation,
+// assuming skew-free hashing: worker w receives, for atom j, one
+// 1/∏dims(j)-th of |S_j| for every distinct projection of w's cells onto
+// the dimensions of j.
+func (ca *CellAllocation) Workload(q *core.Query, cat *stats.Catalog) (float64, error) {
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return 0, err
+	}
+	dims := ca.Config.Dims
+	ad := atomDims(q, ca.Config)
+	perAtomFrac := make([]float64, len(q.Atoms))
+	for j, idx := range ad {
+		denom := 1.0
+		for _, i := range idx {
+			denom *= float64(dims[i])
+		}
+		perAtomFrac[j] = card[j] / denom
+	}
+
+	loads := make([]float64, ca.Workers)
+	seen := make([]map[int64]struct{}, ca.Workers*len(q.Atoms))
+	for i := range seen {
+		seen[i] = make(map[int64]struct{})
+	}
+	for cell, w := range ca.Assign {
+		coords := decodeCell(dims, cell)
+		for j := range q.Atoms {
+			key := projKey(coords, ad[j], dims)
+			set := seen[w*len(q.Atoms)+j]
+			if _, ok := set[key]; !ok {
+				set[key] = struct{}{}
+				loads[w] += perAtomFrac[j]
+			}
+		}
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// OptimalCellsResult is the outcome of the branch-and-bound allocator.
+type OptimalCellsResult struct {
+	Allocation *CellAllocation
+	Workload   float64
+	// Proven is true when the search space was exhausted within the budget,
+	// so Allocation is optimal; false when the deadline cut the search
+	// short (the paper's point: this is intractable at realistic scale).
+	Proven bool
+	Nodes  int64
+}
+
+// OptimalCells is the paper's Naïve Algorithm 3: allocate the cells of cfg
+// to n workers minimizing the maximum per-worker load, by branch and bound
+// with worker-symmetry breaking (clasp stands in the paper; a custom search
+// here). It stops at the deadline and reports whether optimality was proven.
+func OptimalCells(q *core.Query, cat *stats.Catalog, cfg Config, n int, budget time.Duration) (*OptimalCellsResult, error) {
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	cells := cfg.Cells()
+	if cells == 0 {
+		return nil, fmt.Errorf("shares: configuration %s has no cells", cfg)
+	}
+	dims := cfg.Dims
+	ad := atomDims(q, cfg)
+	perAtomFrac := make([]float64, len(q.Atoms))
+	for j, idx := range ad {
+		denom := 1.0
+		for _, i := range idx {
+			denom *= float64(dims[i])
+		}
+		perAtomFrac[j] = card[j] / denom
+	}
+	keys := make([][]int64, cells) // keys[cell][atom]
+	for c := 0; c < cells; c++ {
+		coords := decodeCell(dims, c)
+		keys[c] = make([]int64, len(q.Atoms))
+		for j := range q.Atoms {
+			keys[c][j] = projKey(coords, ad[j], dims)
+		}
+	}
+
+	deadline := time.Now().Add(budget)
+	res := &OptimalCellsResult{Proven: true}
+
+	// Start from a greedy allocation (cells in order, each to the worker
+	// whose load grows least) to get a strong initial bound.
+	greedy := greedyAllocate(cells, n, keys, perAtomFrac, len(q.Atoms))
+	bestAssign := append([]int(nil), greedy...)
+	bestLoad := allocationMax(greedy, n, keys, perAtomFrac, len(q.Atoms))
+
+	assign := make([]int, cells)
+	loads := make([]float64, n)
+	counts := make([]map[int64]int, n*len(q.Atoms))
+	for i := range counts {
+		counts[i] = make(map[int64]int)
+	}
+	nAtoms := len(q.Atoms)
+
+	place := func(cell, w int) float64 {
+		delta := 0.0
+		for j := 0; j < nAtoms; j++ {
+			m := counts[w*nAtoms+j]
+			if m[keys[cell][j]] == 0 {
+				delta += perAtomFrac[j]
+			}
+			m[keys[cell][j]]++
+		}
+		loads[w] += delta
+		return delta
+	}
+	unplace := func(cell, w int, delta float64) {
+		for j := 0; j < nAtoms; j++ {
+			m := counts[w*nAtoms+j]
+			m[keys[cell][j]]--
+			if m[keys[cell][j]] == 0 {
+				delete(m, keys[cell][j])
+			}
+		}
+		loads[w] -= delta
+	}
+
+	var nodes int64
+	var search func(cell, maxUsed int)
+	search = func(cell, maxUsed int) {
+		nodes++
+		if nodes%4096 == 0 && time.Now().After(deadline) {
+			res.Proven = false
+			return
+		}
+		if cell == cells {
+			m := 0.0
+			for _, l := range loads {
+				if l > m {
+					m = l
+				}
+			}
+			if m < bestLoad {
+				bestLoad = m
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		// Symmetry breaking: unused workers are interchangeable, try only
+		// the first unused one.
+		limit := maxUsed + 1
+		if limit >= n {
+			limit = n - 1
+		}
+		for w := 0; w <= limit; w++ {
+			delta := place(cell, w)
+			if loads[w] < bestLoad {
+				assign[cell] = w
+				nm := maxUsed
+				if w > nm {
+					nm = w
+				}
+				search(cell+1, nm)
+			}
+			unplace(cell, w, delta)
+			if !res.Proven {
+				return
+			}
+		}
+	}
+	search(0, -1)
+
+	res.Allocation = &CellAllocation{Config: cfg, Workers: n, Assign: bestAssign}
+	res.Workload = bestLoad
+	res.Nodes = nodes
+	return res, nil
+}
+
+func greedyAllocate(cells, n int, keys [][]int64, frac []float64, nAtoms int) []int {
+	assign := make([]int, cells)
+	loads := make([]float64, n)
+	counts := make([]map[int64]int, n*nAtoms)
+	for i := range counts {
+		counts[i] = make(map[int64]int)
+	}
+	for c := 0; c < cells; c++ {
+		bestW, bestAfter := 0, 0.0
+		for w := 0; w < n; w++ {
+			delta := 0.0
+			for j := 0; j < nAtoms; j++ {
+				if counts[w*nAtoms+j][keys[c][j]] == 0 {
+					delta += frac[j]
+				}
+			}
+			after := loads[w] + delta
+			if w == 0 || after < bestAfter {
+				bestW, bestAfter = w, after
+			}
+		}
+		assign[c] = bestW
+		loads[bestW] = bestAfter
+		for j := 0; j < nAtoms; j++ {
+			counts[bestW*nAtoms+j][keys[c][j]]++
+		}
+	}
+	return assign
+}
+
+func allocationMax(assign []int, n int, keys [][]int64, frac []float64, nAtoms int) float64 {
+	loads := make([]float64, n)
+	seen := make([]map[int64]struct{}, n*nAtoms)
+	for i := range seen {
+		seen[i] = make(map[int64]struct{})
+	}
+	for c, w := range assign {
+		for j := 0; j < nAtoms; j++ {
+			set := seen[w*nAtoms+j]
+			if _, ok := set[keys[c][j]]; !ok {
+				set[keys[c][j]] = struct{}{}
+				loads[w] += frac[j]
+			}
+		}
+	}
+	m := 0.0
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+// Package shares computes HyperCube share configurations: how to factor the
+// available workers into a grid with one dimension per join variable so
+// that the per-worker load of the single-round HyperCube shuffle is
+// minimized (Section 4 of the paper).
+//
+// Four algorithms are implemented, matching the paper's comparison:
+//
+//   - SolveFractional: the Beame et al. linear program (solved with the
+//     in-repo simplex instead of GLPK) giving optimal fractional shares.
+//   - RoundDown (Naïve Algorithm 1): fractional shares rounded down.
+//   - RandomCells (Naïve Algorithm 2): many virtual cells allocated to
+//     physical workers at random.
+//   - OptimalCells (Naïve Algorithm 3): many virtual cells allocated by
+//     branch and bound — exact on small instances, demonstrably intractable
+//     at paper scale.
+//   - Optimize (Algorithm 1 of the paper): exhaustive search over integral
+//     configurations with at most N cells, one cell per worker, tie-broken
+//     toward even dimension sizes.
+package shares
+
+import (
+	"fmt"
+	"strings"
+
+	"parajoin/internal/core"
+	"parajoin/internal/stats"
+)
+
+// Config is an integral HyperCube configuration: one dimension per join
+// variable, with Dims[i] buckets for Vars[i]. The product of Dims is the
+// number of cells; with one cell per worker it is the number of workers the
+// shuffle actually uses.
+type Config struct {
+	Vars []core.Var
+	Dims []int
+}
+
+// Cells returns the total number of cells (the product of the dimensions).
+func (c Config) Cells() int {
+	n := 1
+	for _, d := range c.Dims {
+		n *= d
+	}
+	return n
+}
+
+// Dim returns the dimension size for variable v, or 1 when v has no
+// dimension (a non-join variable is never hashed, which is the same as a
+// dimension of size one).
+func (c Config) Dim(v core.Var) int {
+	for i, cv := range c.Vars {
+		if cv == v {
+			return c.Dims[i]
+		}
+	}
+	return 1
+}
+
+// MaxDim returns the largest dimension size; the even-dimension tie-break of
+// Algorithm 1 minimizes this.
+func (c Config) MaxDim() int {
+	m := 0
+	for _, d := range c.Dims {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (c Config) String() string {
+	parts := make([]string, len(c.Dims))
+	for i, d := range c.Dims {
+		parts[i] = fmt.Sprintf("%s:%d", c.Vars[i], d)
+	}
+	return "[" + strings.Join(parts, " × ") + "]"
+}
+
+// atomCardinalities resolves |S_j| for every atom of q from the catalog.
+// Self-join aliases resolve to the shared base relation's cardinality.
+func atomCardinalities(q *core.Query, cat *stats.Catalog) ([]float64, error) {
+	card := make([]float64, len(q.Atoms))
+	for j, a := range q.Atoms {
+		s := cat.Get(a.Relation)
+		if s == nil {
+			return nil, fmt.Errorf("shares: no statistics for relation %q", a.Relation)
+		}
+		card[j] = float64(s.Cardinality)
+	}
+	return card, nil
+}
+
+// ExpectedLoad returns the expected number of tuples each used cell receives
+// under cfg, assuming uniform (skew-free) hashing: the sum over atoms of
+// |S_j| divided by the product of the dimensions of the join variables the
+// atom contains. This is the workload(c) objective of Algorithm 1.
+func ExpectedLoad(q *core.Query, cat *stats.Catalog, cfg Config) (float64, error) {
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return 0, err
+	}
+	return expectedLoad(q, card, cfg), nil
+}
+
+func expectedLoad(q *core.Query, card []float64, cfg Config) float64 {
+	load := 0.0
+	for j, a := range q.Atoms {
+		part := 1.0
+		for i, v := range cfg.Vars {
+			if a.HasVar(v) {
+				part *= float64(cfg.Dims[i])
+			}
+		}
+		load += card[j] / part
+	}
+	return load
+}
+
+// TuplesShuffled returns the total number of tuples the HyperCube shuffle
+// sends under cfg: each atom's relation is replicated once per cell along
+// every dimension whose variable the atom does not contain.
+func TuplesShuffled(q *core.Query, cat *stats.Catalog, cfg Config) (float64, error) {
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for j, a := range q.Atoms {
+		repl := 1.0
+		for i, v := range cfg.Vars {
+			if !a.HasVar(v) {
+				repl *= float64(cfg.Dims[i])
+			}
+		}
+		total += card[j] * repl
+	}
+	return total, nil
+}

@@ -1,0 +1,149 @@
+package shares
+
+import (
+	"fmt"
+	"math"
+
+	"parajoin/internal/core"
+	"parajoin/internal/lp"
+	"parajoin/internal/stats"
+)
+
+// Fractional is the optimal fractional share assignment from the Beame et
+// al. linear program: share for Vars[i] is p^Exponents[i], with the
+// exponents summing to one.
+type Fractional struct {
+	Vars      []core.Var
+	Exponents []float64
+	// P is the number of (virtual) servers the program was solved for.
+	P int
+	// MaxAtomLoad is the LP objective: the largest per-cell load
+	// contributed by any single atom, in tuples.
+	MaxAtomLoad float64
+	// TotalLoad is the per-cell load summed over all atoms at the optimum —
+	// the quantity Figure 11 of the paper uses as the "optimal" workload.
+	TotalLoad float64
+}
+
+// Share returns the fractional share p^e for variable v (1 for variables
+// without a dimension).
+func (f *Fractional) Share(v core.Var) float64 {
+	for i, fv := range f.Vars {
+		if fv == v {
+			return math.Pow(float64(f.P), f.Exponents[i])
+		}
+	}
+	return 1
+}
+
+// SolveFractional computes the optimal fractional shares for running q on p
+// servers, using the log-space linear program of Beame, Koutris and Suciu:
+//
+//	minimize  t
+//	subject to  for every atom S_j:  t ≥ ln|S_j| − ln(p)·Σ_{i ∈ vars(S_j)} e_i
+//	            Σ_i e_i = 1,  e_i ≥ 0
+//
+// where the share of join variable i is p^{e_i}. The max-load objective t is
+// free, so it is modeled as the difference of two non-negative variables.
+func SolveFractional(q *core.Query, cat *stats.Catalog, p int) (*Fractional, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("shares: need at least one server, got %d", p)
+	}
+	jvs := q.JoinVars()
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return nil, err
+	}
+	for j, c := range card {
+		if c < 1 {
+			// ln(0) is -inf; an empty relation makes the whole query empty,
+			// and any shares are optimal. Clamp to 1 tuple.
+			card[j] = 1
+		}
+	}
+	k := len(jvs)
+	if k == 0 || p == 1 {
+		// No join variables (pure cartesian/broadcast) or a single server:
+		// the only configuration is all-ones.
+		exp := make([]float64, k)
+		f := &Fractional{Vars: jvs, Exponents: exp, P: p}
+		f.finishLoads(q, card)
+		return f, nil
+	}
+
+	// Variables: e_0..e_{k-1}, t+, t-. Maximize -(t+ - t-).
+	n := k + 2
+	obj := make([]float64, n)
+	obj[k] = -1
+	obj[k+1] = 1
+	logp := math.Log(float64(p))
+
+	prob := &lp.Problem{Objective: obj}
+	for j, a := range q.Atoms {
+		// ln|S_j| − logp·Σ e_i ≤ t+ − t−
+		// ⇒ −logp·Σ e_i − t+ + t− ≤ −ln|S_j|
+		row := make([]float64, n)
+		for i, v := range jvs {
+			if a.HasVar(v) {
+				row[i] = -logp
+			}
+		}
+		row[k] = -1
+		row[k+1] = 1
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, -math.Log(card[j]))
+	}
+	eq := make([]float64, n)
+	for i := 0; i < k; i++ {
+		eq[i] = 1
+	}
+	prob.Aeq = [][]float64{eq}
+	prob.Beq = []float64{1}
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("shares: share LP for %s: %w", q.Name, err)
+	}
+	f := &Fractional{Vars: jvs, Exponents: sol.X[:k], P: p}
+	f.finishLoads(q, card)
+	return f, nil
+}
+
+func (f *Fractional) finishLoads(q *core.Query, card []float64) {
+	maxLoad, total := 0.0, 0.0
+	for j, a := range q.Atoms {
+		denom := 1.0
+		for i, v := range f.Vars {
+			if a.HasVar(v) {
+				denom *= math.Pow(float64(f.P), f.Exponents[i])
+			}
+		}
+		l := card[j] / denom
+		total += l
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	f.MaxAtomLoad = maxLoad
+	f.TotalLoad = total
+}
+
+// RoundDown is the paper's Naïve Algorithm 1: take the fractional shares and
+// round each down to an integer (at least 1). The resulting configuration
+// can waste most of the cluster — for the 4-clique on 15 servers every share
+// rounds to 1 and a single server does all the work.
+func RoundDown(q *core.Query, cat *stats.Catalog, p int) (Config, error) {
+	f, err := SolveFractional(q, cat, p)
+	if err != nil {
+		return Config{}, err
+	}
+	dims := make([]int, len(f.Vars))
+	for i := range f.Vars {
+		d := int(math.Floor(math.Pow(float64(p), f.Exponents[i]) + 1e-9))
+		if d < 1 {
+			d = 1
+		}
+		dims[i] = d
+	}
+	return Config{Vars: f.Vars, Dims: dims}, nil
+}

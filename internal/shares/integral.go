@@ -1,0 +1,112 @@
+package shares
+
+import (
+	"fmt"
+	"math"
+
+	"parajoin/internal/core"
+	"parajoin/internal/stats"
+)
+
+// Optimize is Algorithm 1 of the paper: enumerate every integral HyperCube
+// configuration whose cell count is at most the number of physical workers
+// N, keep one cell per worker, and pick the configuration with the smallest
+// expected per-worker workload. Ties are broken toward more even dimension
+// sizes (smaller maximum dimension), which is more resilient to skew in any
+// single attribute.
+//
+// The optimal configuration may deliberately leave workers idle: for the
+// 4-clique on N=15, 2×2×3×1 uses 12 workers but beats every configuration
+// that uses more.
+func Optimize(q *core.Query, cat *stats.Catalog, n int) (Config, error) {
+	if n < 1 {
+		return Config{}, fmt.Errorf("shares: need at least one worker, got %d", n)
+	}
+	jvs := q.JoinVars()
+	card, err := atomCardinalities(q, cat)
+	if err != nil {
+		return Config{}, err
+	}
+	k := len(jvs)
+	best := Config{Vars: jvs, Dims: ones(k)}
+	bestLoad := expectedLoad(q, card, best)
+
+	dims := ones(k)
+	var walk func(i, budget int)
+	walk = func(i, budget int) {
+		if i == k {
+			c := Config{Vars: jvs, Dims: append([]int(nil), dims...)}
+			load := expectedLoad(q, card, c)
+			switch {
+			case load < bestLoad*(1-1e-12):
+				best, bestLoad = c, load
+			case load <= bestLoad*(1+1e-12) && c.MaxDim() < best.MaxDim():
+				best, bestLoad = c, load
+			}
+			return
+		}
+		for d := 1; d <= budget; d++ {
+			dims[i] = d
+			walk(i+1, budget/d)
+		}
+		dims[i] = 1
+	}
+	if k > 0 {
+		walk(0, n)
+	}
+	return best, nil
+}
+
+func ones(k int) []int {
+	d := make([]int, k)
+	for i := range d {
+		d[i] = 1
+	}
+	return d
+}
+
+// EnumerateConfigs calls fn for every integral configuration over the
+// query's join variables with at most n cells. It exists for tooling and
+// tests; Optimize uses the same walk internally.
+func EnumerateConfigs(q *core.Query, n int, fn func(Config)) {
+	jvs := q.JoinVars()
+	k := len(jvs)
+	if k == 0 {
+		fn(Config{Vars: jvs, Dims: nil})
+		return
+	}
+	dims := ones(k)
+	var walk func(i, budget int)
+	walk = func(i, budget int) {
+		if i == k {
+			fn(Config{Vars: jvs, Dims: append([]int(nil), dims...)})
+			return
+		}
+		for d := 1; d <= budget; d++ {
+			dims[i] = d
+			walk(i+1, budget/d)
+		}
+		dims[i] = 1
+	}
+	walk(0, n)
+}
+
+// WorkloadRatio returns the ratio between a configuration's expected
+// per-worker workload and the fractional-LP optimum TotalLoad for p
+// servers — the metric plotted in Figure 11 of the paper. Ratios below one
+// are possible: the fractional LP minimizes the largest single-atom load,
+// not the total, so an integral configuration can beat its total.
+func WorkloadRatio(q *core.Query, cat *stats.Catalog, cfg Config, p int) (float64, error) {
+	f, err := SolveFractional(q, cat, p)
+	if err != nil {
+		return 0, err
+	}
+	load, err := ExpectedLoad(q, cat, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if f.TotalLoad == 0 {
+		return math.Inf(1), nil
+	}
+	return load / f.TotalLoad, nil
+}

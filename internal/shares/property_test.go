@@ -1,0 +1,126 @@
+package shares
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+	"parajoin/internal/stats"
+)
+
+// mkCatalog builds a catalog with the requested cardinalities for the
+// triangle relations.
+func mkCatalog(cR, cS, cT int) (*core.Query, *stats.Catalog) {
+	q := core.MustQuery("Triangle", nil, []core.Atom{
+		core.NewAtom("R", core.V("x"), core.V("y")),
+		core.NewAtom("S", core.V("y"), core.V("z")),
+		core.NewAtom("T", core.V("z"), core.V("x")),
+	})
+	mk := func(name string, n int) *rel.Relation {
+		r := rel.New(name, "a", "b")
+		for i := 0; i < n; i++ {
+			r.AppendRow(int64(i), int64(i+1))
+		}
+		return r
+	}
+	return q, stats.NewCatalog(mk("R", cR), mk("S", cS), mk("T", cT))
+}
+
+// Property: Algorithm 1 never does worse than round-down, for any relation
+// sizes and cluster size.
+func TestOptimizeDominatesRoundDownProperty(t *testing.T) {
+	f := func(a, b, c uint16, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		q, cat := mkCatalog(int(a)+1, int(b)+1, int(c)+1)
+		opt, err := Optimize(q, cat, n)
+		if err != nil {
+			return false
+		}
+		rd, err := RoundDown(q, cat, n)
+		if err != nil {
+			return false
+		}
+		lOpt, err1 := ExpectedLoad(q, cat, opt)
+		lRD, err2 := ExpectedLoad(q, cat, rd)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return lOpt <= lRD+1e-9 && opt.Cells() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fractional solution's exponents are a distribution (sum to
+// one, non-negative) and its total load lower-bounds nothing pathological.
+func TestFractionalExponentsProperty(t *testing.T) {
+	f := func(a, b, c uint16, nRaw uint8) bool {
+		n := int(nRaw%128) + 2
+		q, cat := mkCatalog(int(a)+1, int(b)+1, int(c)+1)
+		frac, err := SolveFractional(q, cat, n)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, e := range frac.Exponents {
+			if e < -1e-9 {
+				return false
+			}
+			sum += e
+		}
+		return sum > 1-1e-6 && sum < 1+1e-6 && frac.TotalLoad > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cell-allocation workload of the identity (one cell per
+// worker) allocation equals the configuration's expected load.
+func TestIdentityAllocationMatchesExpectedLoad(t *testing.T) {
+	f := func(d1Raw, d2Raw, d3Raw uint8) bool {
+		d1, d2, d3 := int(d1Raw%4)+1, int(d2Raw%4)+1, int(d3Raw%4)+1
+		q, cat := mkCatalog(1000, 2000, 3000)
+		cfg := Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{d1, d2, d3}}
+		alloc := OneCellPerWorker(cfg, cfg.Cells())
+		wl, err := alloc.Workload(q, cat)
+		if err != nil {
+			return false
+		}
+		el, err := ExpectedLoad(q, cat, cfg)
+		if err != nil {
+			return false
+		}
+		diff := wl - el
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replication accounting — TuplesShuffled under a configuration
+// equals the sum over atoms of |R| times the product of the dimensions the
+// atom does not bind.
+func TestTuplesShuffledFormulaProperty(t *testing.T) {
+	f := func(d1Raw, d2Raw, d3Raw uint8) bool {
+		d1, d2, d3 := int(d1Raw%5)+1, int(d2Raw%5)+1, int(d3Raw%5)+1
+		q, cat := mkCatalog(100, 200, 300)
+		cfg := Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{d1, d2, d3}}
+		got, err := TuplesShuffled(q, cat, cfg)
+		if err != nil {
+			return false
+		}
+		// R(x,y) misses z; S(y,z) misses x; T(z,x) misses y.
+		want := float64(100*d3 + 200*d1 + 300*d2)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

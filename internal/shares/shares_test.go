@@ -1,0 +1,376 @@
+package shares
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/rel"
+	"parajoin/internal/stats"
+)
+
+// triangleSetup returns the triangle query over three same-size relations
+// and a catalog where |R| = |S| = |T| = m.
+func triangleSetup(m int) (*core.Query, *stats.Catalog) {
+	q := core.MustQuery("Triangle", nil, []core.Atom{
+		core.NewAtom("R", core.V("x"), core.V("y")),
+		core.NewAtom("S", core.V("y"), core.V("z")),
+		core.NewAtom("T", core.V("z"), core.V("x")),
+	})
+	mk := func(name string) *rel.Relation {
+		r := rel.New(name, "a", "b")
+		for i := 0; i < m; i++ {
+			r.AppendRow(int64(i), int64(i+1))
+		}
+		return r
+	}
+	return q, stats.NewCatalog(mk("R"), mk("S"), mk("T"))
+}
+
+func TestFractionalTriangleSymmetric(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	f, err := SolveFractional(q, cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal cardinalities: the optimum is e = (1/3, 1/3, 1/3).
+	for i, e := range f.Exponents {
+		if math.Abs(e-1.0/3) > 1e-6 {
+			t.Errorf("exponent %d = %f, want 1/3 (all %v)", i, e, f.Exponents)
+		}
+	}
+	// Per-cell load = 3m / p^(2/3).
+	want := 3 * 1000 / math.Pow(64, 2.0/3)
+	if math.Abs(f.TotalLoad-want) > 1e-6 {
+		t.Errorf("TotalLoad = %f, want %f", f.TotalLoad, want)
+	}
+}
+
+func TestFractionalSkewedSizes(t *testing.T) {
+	// |S1| << |S2| = |S3|: the paper says the optimum hash-partitions S2,S3
+	// on their shared variable and broadcasts S1 — shares p1=p2=1, p3=p.
+	q := core.MustQuery("T", nil, []core.Atom{
+		core.NewAtom("S1", core.V("x1"), core.V("x2")),
+		core.NewAtom("S2", core.V("x2"), core.V("x3")),
+		core.NewAtom("S3", core.V("x3"), core.V("x1")),
+	})
+	small := rel.New("S1", "a", "b")
+	small.AppendRow(1, 1)
+	big := func(name string) *rel.Relation {
+		r := rel.New(name, "a", "b")
+		for i := 0; i < 100000; i++ {
+			r.AppendRow(int64(i), int64(i))
+		}
+		return r
+	}
+	cat := stats.NewCatalog(small, big("S2"), big("S3"))
+	f, err := SolveFractional(q, cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVar := make(map[core.Var]float64)
+	for i, v := range f.Vars {
+		byVar[v] = f.Exponents[i]
+	}
+	if byVar["x3"] < 0.95 {
+		t.Errorf("share exponent of x3 = %f, want ≈1 (exponents %v, vars %v)", byVar["x3"], f.Exponents, f.Vars)
+	}
+	if byVar["x1"] > 0.05 || byVar["x2"] > 0.05 {
+		t.Errorf("x1/x2 exponents = %f/%f, want ≈0", byVar["x1"], byVar["x2"])
+	}
+}
+
+func TestRoundDownPowerOfCube(t *testing.T) {
+	q, cat := triangleSetup(100)
+	cfg, err := RoundDown(q, cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64^(1/3) = 4 exactly: round down keeps the perfect cube.
+	for _, d := range cfg.Dims {
+		if d != 4 {
+			t.Fatalf("RoundDown(64) = %v, want 4×4×4", cfg.Dims)
+		}
+	}
+	// 63^(1/3) ≈ 3.98: rounds down to 3×3×3 = 27 cells, wasting workers.
+	cfg63, err := RoundDown(q, cat, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cfg63.Dims {
+		if d != 3 {
+			t.Fatalf("RoundDown(63) = %v, want 3×3×3", cfg63.Dims)
+		}
+	}
+}
+
+func TestOptimizeTriangle64(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	cfg, err := Optimize(q, cat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cells() != 64 {
+		t.Fatalf("Optimize(64) uses %d cells (%s), want 64", cfg.Cells(), cfg)
+	}
+	for _, d := range cfg.Dims {
+		if d != 4 {
+			t.Fatalf("Optimize(64) = %s, want 4×4×4", cfg)
+		}
+	}
+}
+
+func TestOptimizeBeatsRoundDownOn63(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	opt, err := Optimize(q, cat, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := RoundDown(q, cat, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lOpt, _ := ExpectedLoad(q, cat, opt)
+	lRD, _ := ExpectedLoad(q, cat, rd)
+	if lOpt > lRD {
+		t.Fatalf("Optimize load %f worse than RoundDown %f", lOpt, lRD)
+	}
+	// The paper's example: 63 workers must do better than 3×3×3.
+	if opt.Cells() <= 27 {
+		t.Fatalf("Optimize(63) found only %d cells (%s)", opt.Cells(), opt)
+	}
+}
+
+func TestOptimizeEvenTieBreak(t *testing.T) {
+	// A(x,y) ⋈ B(x,y) on both variables: 2×2 and 1×4 have the same expected
+	// load; the tie-break must pick the more even 2×2.
+	q := core.MustQuery("Q", nil, []core.Atom{
+		core.NewAtom("A", core.V("x"), core.V("y")),
+		core.NewAtom("B", core.V("x"), core.V("y")),
+	})
+	mk := func(name string) *rel.Relation {
+		r := rel.New(name, "a", "b")
+		for i := 0; i < 100; i++ {
+			r.AppendRow(int64(i), int64(i))
+		}
+		return r
+	}
+	cat := stats.NewCatalog(mk("A"), mk("B"))
+	cfg, err := Optimize(q, cat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxDim() != 2 {
+		t.Fatalf("Optimize = %s, want 2×2", cfg)
+	}
+}
+
+func TestOptimizeUsesFewerWorkersWhenBetter(t *testing.T) {
+	// The paper's 4-clique on 15 workers: every share rounds down to 1 under
+	// Naïve Algorithm 1 (no parallelism), while Algorithm 1 finds a
+	// configuration using most of the cluster.
+	q := core.MustQuery("Clique4", nil, []core.Atom{
+		core.NewAtom("E", core.V("x"), core.V("y")),
+		core.NewAtom("E", core.V("y"), core.V("z")),
+		core.NewAtom("E", core.V("z"), core.V("p")),
+		core.NewAtom("E", core.V("p"), core.V("x")),
+		core.NewAtom("E", core.V("x"), core.V("z")),
+		core.NewAtom("E", core.V("y"), core.V("p")),
+	})
+	e := rel.New("E", "a", "b")
+	for i := 0; i < 10000; i++ {
+		e.AppendRow(int64(i), int64((i*7)%10000))
+	}
+	cat := stats.NewCatalog(e)
+
+	rd, err := RoundDown(q, cat, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Cells() != 1 {
+		t.Fatalf("RoundDown(15) = %s with %d cells, the paper expects 1", rd, rd.Cells())
+	}
+	opt, err := Optimize(q, cat, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cells() < 12 {
+		t.Fatalf("Optimize(15) = %s uses %d cells, want ≥ 12", opt, opt.Cells())
+	}
+	lOpt, _ := ExpectedLoad(q, cat, opt)
+	lRD, _ := ExpectedLoad(q, cat, rd)
+	if lOpt >= lRD {
+		t.Fatalf("Optimize load %f not better than RoundDown %f", lOpt, lRD)
+	}
+}
+
+func TestExpectedLoadAndShuffleVolume(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	cfg := Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{4, 4, 4}}
+	load, err := ExpectedLoad(q, cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each atom binds 2 of 3 dims: load = 3 * 1000/16.
+	if math.Abs(load-187.5) > 1e-9 {
+		t.Fatalf("ExpectedLoad = %f, want 187.5", load)
+	}
+	vol, err := TuplesShuffled(q, cat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each relation replicated 4× (one free dimension): 3 * 1000 * 4.
+	if vol != 12000 {
+		t.Fatalf("TuplesShuffled = %f, want 12000", vol)
+	}
+}
+
+func TestEnumerateConfigsCount(t *testing.T) {
+	q, _ := triangleSetup(10)
+	count := 0
+	seen := make(map[string]bool)
+	EnumerateConfigs(q, 8, func(c Config) {
+		count++
+		if c.Cells() > 8 {
+			t.Fatalf("config %s exceeds 8 cells", c)
+		}
+		if seen[c.String()] {
+			t.Fatalf("config %s enumerated twice", c)
+		}
+		seen[c.String()] = true
+	})
+	// Number of ordered triples with product ≤ 8: Σ_{m≤8} d_3(m) = 1+3+3+6+3+9+3+10 = 38.
+	if count != 38 {
+		t.Fatalf("enumerated %d configs, want 38", count)
+	}
+}
+
+func TestWorkloadRatioAtLeastHalfSane(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	cfg, _ := Optimize(q, cat, 64)
+	ratio, err := WorkloadRatio(q, cat, cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At p=64 the fractional optimum is integral, so the ratio must be 1.
+	if math.Abs(ratio-1) > 1e-6 {
+		t.Fatalf("ratio = %f, want 1", ratio)
+	}
+}
+
+func TestRandomCellsWorseThanOptimize(t *testing.T) {
+	q, cat := triangleSetup(1000)
+	alloc, err := RandomCells(q, cat, 8, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wRand, err := alloc.Workload(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := Optimize(q, cat, 8)
+	wOpt, _ := ExpectedLoad(q, cat, opt)
+	if wRand <= wOpt {
+		t.Fatalf("random allocation workload %f should exceed Algorithm 1's %f", wRand, wOpt)
+	}
+}
+
+func TestRandomCellsBalancedCounts(t *testing.T) {
+	q, cat := triangleSetup(100)
+	alloc, err := RandomCells(q, cat, 4, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, w := range alloc.Assign {
+		counts[w]++
+	}
+	cells := alloc.Config.Cells()
+	for w, c := range counts {
+		if c < cells/4 || c > cells/4+1 {
+			t.Fatalf("worker %d got %d of %d cells", w, c, cells)
+		}
+	}
+}
+
+func TestOptimalCellsSmallExact(t *testing.T) {
+	q, cat := triangleSetup(100)
+	cfg := Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{2, 2, 1}}
+	res, err := OptimalCells(q, cat, cfg, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proven {
+		t.Fatal("4 cells on 2 workers should be solved exactly")
+	}
+	// Best split of the 2×2 face onto 2 workers: pair cells sharing an x
+	// coordinate (or a y coordinate), so each worker covers 1 x-value and 2
+	// y-values (or vice versa): load = 100/2 (R) + 2*100/4... compute: the
+	// important property is it beats the worst allocation and matches the
+	// greedy-checkable optimum; assert against brute force via Workload.
+	if res.Workload <= 0 {
+		t.Fatalf("workload = %f", res.Workload)
+	}
+	// Exhaustive check: no allocation may beat the reported optimum.
+	best := math.Inf(1)
+	for mask := 0; mask < 16; mask++ {
+		assign := make([]int, 4)
+		for c := 0; c < 4; c++ {
+			assign[c] = (mask >> c) & 1
+		}
+		ca := &CellAllocation{Config: cfg, Workers: 2, Assign: assign}
+		w, err := ca.Workload(q, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < best {
+			best = w
+		}
+	}
+	if math.Abs(best-res.Workload) > 1e-9 {
+		t.Fatalf("branch and bound found %f, brute force %f", res.Workload, best)
+	}
+}
+
+func TestOptimalCellsDeadline(t *testing.T) {
+	// A big instance with a tiny budget must return quickly and report an
+	// unproven result — the paper's Naïve Algorithm 3 intractability.
+	q, cat := triangleSetup(1000)
+	cfg := Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{4, 4, 4}}
+	start := time.Now()
+	res, err := OptimalCells(q, cat, cfg, 8, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline was not honored")
+	}
+	if res.Proven {
+		t.Log("search finished within budget (machine faster than expected); result is exact")
+	}
+	if res.Allocation == nil || len(res.Allocation.Assign) != 64 {
+		t.Fatal("allocator must still return its best allocation")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{Vars: []core.Var{"x", "y"}, Dims: []int{2, 8}}
+	if c.Cells() != 16 || c.MaxDim() != 8 {
+		t.Fatalf("Cells=%d MaxDim=%d", c.Cells(), c.MaxDim())
+	}
+	if c.Dim("x") != 2 || c.Dim("zzz") != 1 {
+		t.Fatalf("Dim lookups wrong: %d %d", c.Dim("x"), c.Dim("zzz"))
+	}
+}
+
+func TestFractionalSingleServer(t *testing.T) {
+	q, cat := triangleSetup(10)
+	f, err := SolveFractional(q, cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalLoad != 30 {
+		t.Fatalf("TotalLoad on one server = %f, want 30", f.TotalLoad)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import "sort"
+
+// HeavyHitters is a Misra–Gries (space-saving) sketch over a stream of
+// int64 keys: with capacity k it tracks at most k candidate keys in O(k)
+// memory and guarantees that every key with true frequency > n/(k+1)
+// survives in the sketch, with its counter underestimating the true
+// frequency by at most n/(k+1). The skew-aware shuffle planner uses it to
+// find join-key heavy hitters without materializing full frequency maps.
+type HeavyHitters struct {
+	capacity int
+	counts   map[int64]int64
+	n        int64
+}
+
+// NewHeavyHitters creates a sketch tracking up to capacity candidates.
+func NewHeavyHitters(capacity int) *HeavyHitters {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HeavyHitters{
+		capacity: capacity,
+		counts:   make(map[int64]int64, capacity+1),
+	}
+}
+
+// Add feeds one key into the sketch.
+func (h *HeavyHitters) Add(key int64) {
+	h.n++
+	if _, ok := h.counts[key]; ok {
+		h.counts[key]++
+		return
+	}
+	if len(h.counts) < h.capacity {
+		h.counts[key] = 1
+		return
+	}
+	// Decrement-all step: every tracked counter drops by one; zeros evict.
+	for k := range h.counts {
+		h.counts[k]--
+		if h.counts[k] == 0 {
+			delete(h.counts, k)
+		}
+	}
+}
+
+// N returns the number of keys fed so far.
+func (h *HeavyHitters) N() int64 { return h.n }
+
+// ErrorBound returns the maximum undercount of any reported frequency:
+// n/(capacity+1).
+func (h *HeavyHitters) ErrorBound() int64 {
+	return h.n / int64(h.capacity+1)
+}
+
+// Hitter is one candidate heavy key with its (under-)estimated frequency.
+type Hitter struct {
+	Key int64
+	// Count is a lower bound on the key's true frequency; the true value
+	// is at most Count + ErrorBound().
+	Count int64
+}
+
+// Above returns the candidates whose true frequency may exceed threshold
+// (Count + ErrorBound ≥ threshold), heaviest first. A key whose true
+// frequency exceeds threshold is guaranteed to be included whenever
+// threshold > n/(capacity+1).
+func (h *HeavyHitters) Above(threshold int64) []Hitter {
+	bound := h.ErrorBound()
+	var out []Hitter
+	for k, c := range h.counts {
+		if c+bound >= threshold {
+			out = append(out, Hitter{Key: k, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

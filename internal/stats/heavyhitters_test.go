@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeavyHittersFindsHub(t *testing.T) {
+	h := NewHeavyHitters(16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		if i%4 == 0 {
+			h.Add(42) // 25% of the stream
+		} else {
+			h.Add(rng.Int63n(100000))
+		}
+	}
+	hits := h.Above(h.N() / 10)
+	if len(hits) == 0 || hits[0].Key != 42 {
+		t.Fatalf("hub not found: %v", hits)
+	}
+	// The reported count underestimates by at most the error bound.
+	trueCount := int64(30000 / 4)
+	if hits[0].Count > trueCount {
+		t.Fatalf("count %d exceeds true frequency %d", hits[0].Count, trueCount)
+	}
+	if hits[0].Count+h.ErrorBound() < trueCount {
+		t.Fatalf("count %d + bound %d below true frequency %d",
+			hits[0].Count, h.ErrorBound(), trueCount)
+	}
+}
+
+func TestHeavyHittersUniformStreamQuiet(t *testing.T) {
+	h := NewHeavyHitters(32)
+	for i := int64(0); i < 50000; i++ {
+		h.Add(i % 10000) // every key has frequency 5
+	}
+	// No key can have true frequency near n/4; Above with a high threshold
+	// must be empty.
+	if hits := h.Above(h.N() / 4); len(hits) != 0 {
+		t.Fatalf("uniform stream reported heavy hitters: %v", hits)
+	}
+}
+
+// Misra–Gries guarantee: any key with true frequency > n/(k+1) is present.
+func TestHeavyHittersGuaranteeProperty(t *testing.T) {
+	f := func(seed int16, hotShare uint8) bool {
+		share := 3 + int(hotShare%5) // hot key gets 1/share of the stream
+		rng := rand.New(rand.NewSource(int64(seed)))
+		h := NewHeavyHitters(2 * share) // capacity > share ⇒ guarantee holds
+		const n = 5000
+		hot := int64(-7)
+		trueHot := 0
+		for i := 0; i < n; i++ {
+			if i%share == 0 {
+				h.Add(hot)
+				trueHot++
+			} else {
+				h.Add(rng.Int63n(1 << 40)) // effectively unique
+			}
+		}
+		if int64(trueHot) <= h.ErrorBound() {
+			return true // too small to be guaranteed
+		}
+		for _, hit := range h.Above(int64(trueHot)) {
+			if hit.Key == hot {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyHittersDegenerate(t *testing.T) {
+	h := NewHeavyHitters(0) // clamps to 1
+	h.Add(5)
+	h.Add(5)
+	h.Add(6)
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// Above with threshold 0 returns whatever is tracked, sorted.
+	hits := h.Above(1)
+	if len(hits) > 1 {
+		t.Fatalf("capacity-1 sketch tracks %d keys", len(hits))
+	}
+}

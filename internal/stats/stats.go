@@ -1,0 +1,143 @@
+// Package stats computes the relation statistics that drive parajoin's two
+// optimizers: cardinalities |R| feed the share optimizer (the HyperCube
+// configuration of Section 4 of the paper), and distinct/prefix-distinct
+// counts V(R, x) and V(R, prefix) feed the Tributary-join variable-order
+// cost model (Section 5).
+package stats
+
+import (
+	"encoding/binary"
+
+	"parajoin/internal/rel"
+)
+
+// Distinct returns the number of distinct values in column col of r.
+func Distinct(r *rel.Relation, col int) int {
+	seen := make(map[int64]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		seen[t[col]] = struct{}{}
+	}
+	return len(seen)
+}
+
+// DistinctTuples returns the number of distinct projections of r onto cols.
+// This is V(R, p) for the prefix p = cols of the paper's cost model.
+func DistinctTuples(r *rel.Relation, cols []int) int {
+	if len(cols) == 0 {
+		// The empty prefix has exactly one value (the empty tuple) whenever
+		// the relation is non-empty.
+		if len(r.Tuples) == 0 {
+			return 0
+		}
+		return 1
+	}
+	seen := make(map[string]struct{}, len(r.Tuples))
+	key := make([]byte, 8*len(cols))
+	for _, t := range r.Tuples {
+		for i, c := range cols {
+			binary.LittleEndian.PutUint64(key[8*i:], uint64(t[c]))
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// PrefixDistinct returns, for every prefix length k = 1..len(cols), the
+// number of distinct projections of r onto cols[:k]. A single pass computes
+// all of them.
+func PrefixDistinct(r *rel.Relation, cols []int) []int {
+	out := make([]int, len(cols))
+	if len(cols) == 0 {
+		return out
+	}
+	seen := make([]map[string]struct{}, len(cols))
+	for i := range seen {
+		seen[i] = make(map[string]struct{})
+	}
+	key := make([]byte, 8*len(cols))
+	for _, t := range r.Tuples {
+		for i, c := range cols {
+			binary.LittleEndian.PutUint64(key[8*i:], uint64(t[c]))
+			seen[i][string(key[:8*(i+1)])] = struct{}{}
+		}
+	}
+	for i := range out {
+		out[i] = len(seen[i])
+	}
+	return out
+}
+
+// RelationStats caches the statistics of one relation that the optimizers
+// ask for repeatedly: cardinality and per-column distinct counts. Prefix
+// counts depend on the candidate variable order, so they are computed on
+// demand via DistinctTuples.
+type RelationStats struct {
+	Name        string
+	Cardinality int
+	// ColumnDistinct[i] is the number of distinct values in column i.
+	ColumnDistinct []int
+
+	rel *rel.Relation
+}
+
+// Collect scans r once and returns its statistics.
+func Collect(r *rel.Relation) *RelationStats {
+	s := &RelationStats{
+		Name:           r.Name,
+		Cardinality:    len(r.Tuples),
+		ColumnDistinct: make([]int, r.Arity()),
+		rel:            r,
+	}
+	sets := make([]map[int64]struct{}, r.Arity())
+	for i := range sets {
+		sets[i] = make(map[int64]struct{})
+	}
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			sets[i][v] = struct{}{}
+		}
+	}
+	for i := range sets {
+		s.ColumnDistinct[i] = len(sets[i])
+	}
+	return s
+}
+
+// Prefix returns V(R, cols): the number of distinct projections onto cols.
+func (s *RelationStats) Prefix(cols []int) int {
+	return DistinctTuples(s.rel, cols)
+}
+
+// Catalog maps relation names to their statistics. The planner builds one
+// per database and hands it to the share and variable-order optimizers.
+type Catalog struct {
+	byName map[string]*RelationStats
+}
+
+// NewCatalog collects statistics for every relation given.
+func NewCatalog(relations ...*rel.Relation) *Catalog {
+	c := &Catalog{byName: make(map[string]*RelationStats, len(relations))}
+	for _, r := range relations {
+		c.byName[r.Name] = Collect(r)
+	}
+	return c
+}
+
+// Add collects and registers statistics for r, replacing any previous entry
+// under the same name.
+func (c *Catalog) Add(r *rel.Relation) {
+	c.byName[r.Name] = Collect(r)
+}
+
+// Get returns the statistics for the named relation, or nil when unknown.
+func (c *Catalog) Get(name string) *RelationStats {
+	return c.byName[name]
+}
+
+// Cardinality returns |R| for the named relation, or 0 when unknown.
+func (c *Catalog) Cardinality(name string) int {
+	if s := c.byName[name]; s != nil {
+		return s.Cardinality
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parajoin/internal/rel"
+)
+
+func sample() *rel.Relation {
+	r := rel.New("R", "x", "y", "z")
+	r.AppendRow(1, 1, 1)
+	r.AppendRow(1, 1, 2)
+	r.AppendRow(1, 2, 1)
+	r.AppendRow(2, 1, 1)
+	r.AppendRow(2, 1, 1) // duplicate
+	return r
+}
+
+func TestDistinct(t *testing.T) {
+	r := sample()
+	if got := Distinct(r, 0); got != 2 {
+		t.Errorf("Distinct(x) = %d, want 2", got)
+	}
+	if got := Distinct(r, 2); got != 2 {
+		t.Errorf("Distinct(z) = %d, want 2", got)
+	}
+}
+
+func TestDistinctTuples(t *testing.T) {
+	r := sample()
+	if got := DistinctTuples(r, []int{0, 1}); got != 3 {
+		t.Errorf("V(R,(x,y)) = %d, want 3", got)
+	}
+	if got := DistinctTuples(r, []int{0, 1, 2}); got != 4 {
+		t.Errorf("V(R,(x,y,z)) = %d, want 4", got)
+	}
+	if got := DistinctTuples(r, nil); got != 1 {
+		t.Errorf("V(R,()) = %d, want 1", got)
+	}
+	empty := rel.New("E", "x")
+	if got := DistinctTuples(empty, nil); got != 0 {
+		t.Errorf("V(empty,()) = %d, want 0", got)
+	}
+}
+
+func TestPrefixDistinctMatchesDistinctTuples(t *testing.T) {
+	r := sample()
+	cols := []int{2, 0, 1}
+	pd := PrefixDistinct(r, cols)
+	for k := 1; k <= len(cols); k++ {
+		if pd[k-1] != DistinctTuples(r, cols[:k]) {
+			t.Errorf("prefix %d: %d != %d", k, pd[k-1], DistinctTuples(r, cols[:k]))
+		}
+	}
+}
+
+func TestPrefixDistinctMonotone(t *testing.T) {
+	f := func(rows []uint8) bool {
+		r := rel.New("R", "a", "b")
+		for i, v := range rows {
+			r.AppendRow(int64(v%7), int64(i%5))
+		}
+		pd := PrefixDistinct(r, []int{0, 1})
+		if len(rows) == 0 {
+			return pd[0] == 0 && pd[1] == 0
+		}
+		// Longer prefixes can only have at least as many distinct values,
+		// and never more than the cardinality.
+		return pd[0] <= pd[1] && pd[1] <= len(rows)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectAndCatalog(t *testing.T) {
+	r := sample()
+	s := Collect(r)
+	if s.Cardinality != 5 || s.ColumnDistinct[0] != 2 || s.ColumnDistinct[1] != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.Prefix([]int{0}); got != 2 {
+		t.Errorf("Prefix(x) = %d", got)
+	}
+
+	c := NewCatalog(r)
+	if c.Cardinality("R") != 5 {
+		t.Errorf("catalog |R| = %d", c.Cardinality("R"))
+	}
+	if c.Cardinality("missing") != 0 {
+		t.Error("unknown relation should report cardinality 0")
+	}
+	if c.Get("missing") != nil {
+		t.Error("unknown relation should report nil stats")
+	}
+
+	bigger := rel.New("R", "x")
+	bigger.AppendRow(1)
+	c.Add(bigger)
+	if c.Cardinality("R") != 1 {
+		t.Error("Add should replace the previous entry")
+	}
+}
+
+func TestDistinctTuplesLarge(t *testing.T) {
+	// Cross-check hashing-keyed map counting against a sort-based count.
+	rng := rand.New(rand.NewSource(3))
+	r := rel.New("R", "a", "b")
+	for i := 0; i < 5000; i++ {
+		r.AppendRow(rng.Int63n(50), rng.Int63n(50))
+	}
+	want := r.Clone().Dedup().Cardinality()
+	if got := DistinctTuples(r, []int{0, 1}); got != want {
+		t.Fatalf("DistinctTuples = %d, want %d", got, want)
+	}
+}

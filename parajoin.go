@@ -1,0 +1,526 @@
+// Package parajoin is an embeddable shared-nothing parallel query engine
+// for multiway join queries, reproducing "From Theory to Practice:
+// Efficient Join Query Evaluation in a Parallel Database System" (Chu,
+// Balazinska, Suciu — SIGMOD 2015).
+//
+// Queries are conjunctive queries (joins, selections, comparison filters)
+// written in datalog notation. The engine evaluates them across N workers
+// with a choice of shuffle × join strategies:
+//
+//   - HyperCubeTributary (the paper's headline): a single-round HyperCube
+//     shuffle (shares picked by the paper's Algorithm 1) feeding a
+//     worst-case-optimal Tributary join (Leapfrog Triejoin over sorted
+//     arrays, variable order picked by the paper's Section-5 cost model).
+//   - RegularHash / RegularTributary: single-attribute hash shuffles with a
+//     left-deep tree of binary joins (pipelined symmetric hash joins, or
+//     binary sort-merge Tributary joins).
+//   - BroadcastHash / BroadcastTributary: keep the largest relation in
+//     place, broadcast the rest, evaluate locally.
+//   - Semijoin: the distributed Yannakakis reduction (acyclic queries).
+//   - Auto: pick between HyperCube and regular plans with the paper's
+//     Table-6 rule of thumb (large intermediates and skew → HyperCube).
+//
+// A minimal session:
+//
+//	db := parajoin.Open(8)
+//	defer db.Close()
+//	db.LoadEdges("Follows", edges)
+//	q, _ := db.Query("Triangles(x,y,z) :- Follows(x,y), Follows(y,z), Follows(z,x)")
+//	res, _ := q.Run(context.Background())
+//	fmt.Println(len(res.Rows), "triangles;", res.Stats.TuplesShuffled, "tuples shuffled")
+package parajoin
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/engine"
+	"parajoin/internal/ljoin"
+	"parajoin/internal/planner"
+	"parajoin/internal/rel"
+	"parajoin/internal/shares"
+	"parajoin/internal/stats"
+)
+
+// Strategy selects how a query is shuffled and joined.
+type Strategy string
+
+// The available execution strategies.
+const (
+	// Auto picks a strategy from the statistics (see package comment).
+	Auto Strategy = "auto"
+	// HyperCubeTributary is the paper's HC_TJ configuration.
+	HyperCubeTributary Strategy = "hc_tj"
+	// HyperCubeHash is HC_HJ.
+	HyperCubeHash Strategy = "hc_hj"
+	// RegularHash is RS_HJ.
+	RegularHash Strategy = "rs_hj"
+	// RegularTributary is RS_TJ.
+	RegularTributary Strategy = "rs_tj"
+	// BroadcastHash is BR_HJ.
+	BroadcastHash Strategy = "br_hj"
+	// BroadcastTributary is BR_TJ.
+	BroadcastTributary Strategy = "br_tj"
+	// Semijoin is the distributed Yannakakis reduction; acyclic queries only.
+	Semijoin Strategy = "semijoin"
+	// RegularHashSkew is RS_HJ with heavy-hitter-aware shuffles: heavy join
+	// keys are split round-robin on one side and broadcast on the other
+	// (the skew-join technique the paper's footnote 2 mentions).
+	RegularHashSkew Strategy = "rs_hj_skew"
+)
+
+func (s Strategy) planConfig() (planner.PlanConfig, error) {
+	switch s {
+	case HyperCubeTributary:
+		return planner.HCTJ, nil
+	case HyperCubeHash:
+		return planner.HCHJ, nil
+	case RegularHash:
+		return planner.RSHJ, nil
+	case RegularTributary:
+		return planner.RSTJ, nil
+	case BroadcastHash:
+		return planner.BRHJ, nil
+	case BroadcastTributary:
+		return planner.BRTJ, nil
+	case Semijoin:
+		return planner.SemiJoin, nil
+	case RegularHashSkew:
+		return planner.RSHJSkew, nil
+	}
+	return 0, fmt.Errorf("parajoin: unknown strategy %q", s)
+}
+
+// Strategies lists every explicit strategy (excluding Auto).
+func Strategies() []Strategy {
+	return []Strategy{RegularHash, RegularTributary, RegularHashSkew, BroadcastHash, BroadcastTributary, HyperCubeHash, HyperCubeTributary}
+}
+
+// DB is an in-process shared-nothing parallel database: N workers, each
+// owning a horizontal fragment of every loaded relation.
+type DB struct {
+	mu       sync.Mutex
+	cluster  *engine.Cluster
+	dict     *rel.Dict
+	rels     map[string]*rel.Relation
+	workers  int
+	maxOrder int
+	seed     int64
+}
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithMemoryLimit caps the tuples a single worker may materialize during a
+// query; exceeding it fails the query with an out-of-memory error (the
+// behaviour the paper reports as FAIL).
+func WithMemoryLimit(tuples int64) Option {
+	return func(db *DB) { db.cluster.MaxLocalTuples = tuples }
+}
+
+// WithBatchSize sets the exchange/operator batch granularity.
+func WithBatchSize(n int) Option {
+	return func(db *DB) { db.cluster.BatchSize = n }
+}
+
+// WithSeed seeds the variable-order sampling for reproducible plans.
+func WithSeed(seed int64) Option {
+	return func(db *DB) { db.seed = seed }
+}
+
+// Open creates a database with the given number of workers over the
+// in-memory transport.
+func Open(workers int, opts ...Option) *DB {
+	return newDB(engine.NewCluster(workers), workers, opts)
+}
+
+// OpenTCP creates a database whose workers exchange tuples over TCP.
+// addrs[i] is worker i's listen address; hosted lists the workers this
+// process runs — all of them for a single-process loopback cluster, a
+// subset for a multi-process deployment (each worker hosted by exactly one
+// process). In the multi-process case every process must load the same
+// relations and execute the same sequence of queries with the same options
+// (the SPMD contract extended across processes); each process's results
+// cover its hosted workers.
+func OpenTCP(addrs []string, hosted []int, opts ...Option) (*DB, error) {
+	tr, err := engine.NewTCPTransport(addrs, hosted)
+	if err != nil {
+		return nil, err
+	}
+	cluster := engine.NewPartialCluster(len(addrs), hosted, tr)
+	return newDB(cluster, len(addrs), opts), nil
+}
+
+func newDB(cluster *engine.Cluster, workers int, opts []Option) *DB {
+	db := &DB{
+		cluster:  cluster,
+		dict:     rel.NewDict(),
+		rels:     map[string]*rel.Relation{},
+		workers:  workers,
+		maxOrder: 5040,
+		seed:     1,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Close releases the database's transport.
+func (db *DB) Close() error { return db.cluster.Close() }
+
+// Workers returns the cluster size.
+func (db *DB) Workers() int { return db.workers }
+
+// Load registers a relation and round-robin-partitions its rows across the
+// workers. Values are int64; use Code to encode strings.
+func (db *DB) Load(name string, columns []string, rows [][]int64) error {
+	if name == "" || len(columns) == 0 {
+		return fmt.Errorf("parajoin: relation needs a name and at least one column")
+	}
+	r := rel.New(name, columns...)
+	for i, row := range rows {
+		if len(row) != len(columns) {
+			return fmt.Errorf("parajoin: row %d of %s has %d values for %d columns", i, name, len(row), len(columns))
+		}
+		r.Append(rel.Tuple(row).Clone())
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rels[name] = r
+	db.cluster.Load(r)
+	return nil
+}
+
+// LoadEdges loads a binary relation of (src, dst) pairs — the common case
+// for graph workloads.
+func (db *DB) LoadEdges(name string, edges [][2]int64) error {
+	rows := make([][]int64, len(edges))
+	for i, e := range edges {
+		rows[i] = []int64{e[0], e[1]}
+	}
+	return db.Load(name, []string{"src", "dst"}, rows)
+}
+
+// Relations lists the loaded relation names.
+func (db *DB) Relations() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cardinality returns the number of rows in a loaded relation (0 when
+// unknown).
+func (db *DB) Cardinality(name string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r := db.rels[name]; r != nil {
+		return r.Cardinality()
+	}
+	return 0
+}
+
+// Code returns the int64 code of a string value, assigning one if new.
+// String constants in query rules are encoded with the same dictionary, so
+// values loaded through Code match constants written in rules.
+func (db *DB) Code(s string) int64 { return db.dict.Code(s) }
+
+// Name decodes a code produced by Code.
+func (db *DB) Name(code int64) string { return db.dict.Name(code) }
+
+// Query parses a datalog rule against the loaded relations:
+//
+//	Triangles(x,y,z) :- E(x,y), E(y,z), E(z,x)
+//	Winners(a) :- Name(aw, "The Academy Awards"), Honor(h, aw), Actor(h, a)
+//
+// Quoted string constants are encoded with the database dictionary.
+func (db *DB) Query(rule string) (*Query, error) {
+	q, err := core.ParseRule(rule, db.dict)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, a := range q.Atoms {
+		r := db.rels[a.Relation]
+		if r == nil {
+			return nil, fmt.Errorf("parajoin: query %s uses unknown relation %q", q.Name, a.Relation)
+		}
+		if len(a.Terms) != r.Arity() {
+			return nil, fmt.Errorf("parajoin: atom %s has %d terms but relation %s has %d columns",
+				a, len(a.Terms), a.Relation, r.Arity())
+		}
+	}
+	return &Query{db: db, q: q}, nil
+}
+
+// Query is a parsed, bound query ready to run.
+type Query struct {
+	db *DB
+	q  *core.Query
+}
+
+// String renders the query back in datalog notation.
+func (q *Query) String() string { return q.q.String() }
+
+// IsCyclic reports whether the query hypergraph is cyclic — the class of
+// queries the HyperCube+Tributary combination is built for.
+func (q *Query) IsCyclic() bool { return !core.IsAcyclic(q.q) }
+
+// Run evaluates the query with the Auto strategy.
+func (q *Query) Run(ctx context.Context) (*Result, error) {
+	return q.RunWith(ctx, Auto)
+}
+
+// RunWith evaluates the query with an explicit strategy.
+func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
+	db := q.db
+	db.mu.Lock()
+	catalog := stats.NewCatalog()
+	relCopy := make(map[string]*rel.Relation, len(db.rels))
+	for name, r := range db.rels {
+		catalog.Add(r)
+		relCopy[name] = r
+	}
+	p := &planner.Planner{
+		Workers:   db.workers,
+		Catalog:   catalog,
+		Relations: relCopy,
+		MaxOrders: db.maxOrder,
+		Seed:      db.seed,
+		Mode:      ljoin.SeekBinary,
+	}
+	db.mu.Unlock()
+
+	if s == Auto {
+		s = chooseStrategy(q.q, catalog, db.workers)
+	}
+	cfg, err := s.planConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Plan(q.q, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	out, report, err := db.cluster.RunRounds(ctx, res.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	if !q.q.IsFull() {
+		out.Dedup()
+	}
+
+	result := &Result{
+		Columns: []string(out.Schema),
+		Rows:    make([][]int64, len(out.Tuples)),
+		Stats: Stats{
+			Strategy:        s,
+			Wall:            time.Since(start),
+			CPU:             report.TotalCPU(),
+			TuplesShuffled:  report.TotalTuplesShuffled(),
+			MaxConsumerSkew: report.MaxConsumerSkew(),
+			Workers:         db.workers,
+		},
+	}
+	if cfg == planner.HCTJ || cfg == planner.HCHJ {
+		result.Stats.HyperCubeShares = res.HC.String()
+	}
+	if len(res.Order) > 0 {
+		vars := make([]string, len(res.Order))
+		for i, v := range res.Order {
+			vars[i] = string(v)
+		}
+		result.Stats.VariableOrder = vars
+	}
+	for i, t := range out.Tuples {
+		result.Rows[i] = []int64(t)
+	}
+	return result, nil
+}
+
+// Count evaluates the query and returns only the number of answers,
+// without materializing them at any single site: each worker counts its
+// result fragment (with a distributed dedup pass for projection queries)
+// and the counts are summed. This is the mode graphlet-frequency workloads
+// want (the paper's §1 motivation).
+func (q *Query) Count(ctx context.Context) (int64, *Stats, error) {
+	return q.CountWith(ctx, Auto)
+}
+
+// CountWith is Count under an explicit strategy.
+func (q *Query) CountWith(ctx context.Context, s Strategy) (int64, *Stats, error) {
+	db := q.db
+	db.mu.Lock()
+	catalog := stats.NewCatalog()
+	relCopy := make(map[string]*rel.Relation, len(db.rels))
+	for name, r := range db.rels {
+		catalog.Add(r)
+		relCopy[name] = r
+	}
+	p := &planner.Planner{
+		Workers:   db.workers,
+		Catalog:   catalog,
+		Relations: relCopy,
+		MaxOrders: db.maxOrder,
+		Seed:      db.seed,
+		Mode:      ljoin.SeekBinary,
+	}
+	db.mu.Unlock()
+
+	if s == Auto {
+		s = chooseStrategy(q.q, catalog, db.workers)
+	}
+	cfg, err := s.planConfig()
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := p.Plan(q.q, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	head := q.q.HeadVars()
+	headCols := make([]string, len(head))
+	for i, h := range head {
+		headCols[i] = string(h)
+	}
+	if err := planner.WrapCount(res, q.q.IsFull(), headCols); err != nil {
+		return 0, nil, err
+	}
+
+	start := time.Now()
+	out, report, err := db.cluster.RunRounds(ctx, res.Rounds)
+	if err != nil {
+		return 0, nil, err
+	}
+	var total int64
+	for _, t := range out.Tuples {
+		total += t[0]
+	}
+	st := &Stats{
+		Strategy:        s,
+		Workers:         db.workers,
+		Wall:            time.Since(start),
+		CPU:             report.TotalCPU(),
+		TuplesShuffled:  report.TotalTuplesShuffled(),
+		MaxConsumerSkew: report.MaxConsumerSkew(),
+	}
+	return total, st, nil
+}
+
+// Result is a materialized query answer plus execution statistics.
+type Result struct {
+	Columns []string
+	Rows    [][]int64
+	Stats   Stats
+}
+
+// Stats describes one execution: the metrics the paper's evaluation is
+// built on.
+type Stats struct {
+	Strategy        Strategy
+	Workers         int
+	Wall            time.Duration
+	CPU             time.Duration
+	TuplesShuffled  int64
+	MaxConsumerSkew float64
+	// HyperCubeShares describes the share configuration ("[x:4 × y:4 × z:4]")
+	// for HyperCube strategies.
+	HyperCubeShares string
+	// VariableOrder is the Tributary join's global attribute order.
+	VariableOrder []string
+}
+
+// chooseStrategy applies the paper's Table-6 conclusion: when the regular
+// plan's intermediate results dwarf its inputs (typical for cyclic
+// queries), the HyperCube shuffle with a Tributary join wins; when the
+// intermediates stay small (selective acyclic queries), the regular hash
+// plan wins. We compare the estimated regular-shuffle traffic against the
+// HyperCube plan's replication volume.
+func chooseStrategy(q *core.Query, catalog *stats.Catalog, workers int) Strategy {
+	cfg, err := shares.Optimize(q, catalog, workers)
+	if err != nil {
+		return RegularHash
+	}
+	hcVolume, err := shares.TuplesShuffled(q, catalog, cfg)
+	if err != nil {
+		return RegularHash
+	}
+	rsVolume := estimateRegularTraffic(q, catalog)
+	// Require a clear margin: when traffic is comparable the paper finds
+	// the regular plan faster (small intermediates, short pipelines).
+	if rsVolume > 1.5*hcVolume {
+		return HyperCubeTributary
+	}
+	return RegularHash
+}
+
+// estimateRegularTraffic estimates the tuples a left-deep regular-shuffle
+// plan moves: every input once plus every intermediate result, using the
+// textbook equijoin estimate.
+func estimateRegularTraffic(q *core.Query, catalog *stats.Catalog) float64 {
+	type est struct {
+		card     float64
+		distinct map[core.Var]float64
+	}
+	atoms := make([]est, len(q.Atoms))
+	total := 0.0
+	for i, a := range q.Atoms {
+		st := catalog.Get(a.Relation)
+		if st == nil {
+			return 0
+		}
+		e := est{card: float64(st.Cardinality), distinct: map[core.Var]float64{}}
+		for j, term := range a.Terms {
+			if !term.IsVar {
+				if d := float64(st.ColumnDistinct[j]); d > 0 {
+					e.card /= d
+				}
+			}
+		}
+		for _, v := range a.Vars() {
+			e.distinct[v] = float64(st.ColumnDistinct[a.VarPositions(v)[0]])
+		}
+		atoms[i] = e
+		total += e.card
+	}
+	cur := atoms[0]
+	for _, next := range atoms[1:] {
+		card := cur.card * next.card
+		merged := map[core.Var]float64{}
+		for v, d := range cur.distinct {
+			merged[v] = d
+		}
+		for v, d := range next.distinct {
+			if prev, ok := merged[v]; ok {
+				// Shared variable: apply the join selectivity.
+				m := prev
+				if d > m {
+					m = d
+				}
+				if m > 1 {
+					card /= m
+				}
+				if d < prev {
+					merged[v] = d
+				}
+			} else {
+				merged[v] = d
+			}
+		}
+		cur = est{card: card, distinct: merged}
+		total += card // the intermediate is reshuffled
+	}
+	return total
+}

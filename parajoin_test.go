@@ -1,0 +1,258 @@
+package parajoin
+
+import (
+	"context"
+	"testing"
+)
+
+func testDB(t *testing.T, workers int) *DB {
+	t.Helper()
+	db := Open(workers, WithSeed(7))
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadTriangleGraph(t *testing.T, db *DB) [][2]int64 {
+	t.Helper()
+	edges := SyntheticGraph(1500, 200, 3)
+	if err := db.LoadEdges("E", edges); err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := testDB(t, 4)
+	loadTriangleGraph(t, db)
+
+	q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsCyclic() {
+		t.Error("triangle query should be cyclic")
+	}
+	res, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 3 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Stats.Wall <= 0 || res.Stats.TuplesShuffled <= 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	// Every returned row must actually be a triangle.
+	set := map[[2]int64]bool{}
+	for _, e := range SyntheticGraph(1500, 200, 3) {
+		set[e] = true
+	}
+	for _, r := range res.Rows {
+		if !set[[2]int64{r[0], r[1]}] || !set[[2]int64{r[1], r[2]}] || !set[[2]int64{r[2], r[0]}] {
+			t.Fatalf("row %v is not a triangle", r)
+		}
+	}
+}
+
+func TestAllStrategiesAgree(t *testing.T) {
+	db := testDB(t, 3)
+	loadTriangleGraph(t, db)
+	q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1
+	for _, s := range Strategies() {
+		res, err := q.RunWith(context.Background(), s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if want == -1 {
+			want = len(res.Rows)
+		} else if len(res.Rows) != want {
+			t.Errorf("%s returned %d rows, others %d", s, len(res.Rows), want)
+		}
+	}
+	if want <= 0 {
+		t.Fatal("no triangles found")
+	}
+}
+
+func TestAutoPicksHyperCubeForCyclic(t *testing.T) {
+	db := testDB(t, 8)
+	loadTriangleGraph(t, db)
+	q, _ := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	res, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != HyperCubeTributary {
+		t.Errorf("auto picked %s for a dense cyclic query, want hc_tj", res.Stats.Strategy)
+	}
+	if res.Stats.HyperCubeShares == "" {
+		t.Error("HyperCube stats missing share configuration")
+	}
+	if len(res.Stats.VariableOrder) != 3 {
+		t.Errorf("variable order = %v", res.Stats.VariableOrder)
+	}
+}
+
+func TestAutoPicksRegularForSelective(t *testing.T) {
+	db := testDB(t, 8)
+	// A very selective acyclic query: tiny lookup joined to a big table.
+	var small, big [][]int64
+	for i := int64(0); i < 5; i++ {
+		small = append(small, []int64{i, 100 + i})
+	}
+	for i := int64(0); i < 5000; i++ {
+		big = append(big, []int64{i % 50, i})
+	}
+	if err := db.Load("Small", []string{"k", "v"}, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("Big", []string{"k", "w"}, big); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("Q(v,w) :- Small(k,v), Big(k,w)")
+	res, err := q.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Strategy != RegularHash {
+		t.Errorf("auto picked %s for a selective acyclic query, want rs_hj", res.Stats.Strategy)
+	}
+}
+
+func TestStringConstants(t *testing.T) {
+	db := testDB(t, 2)
+	rows := [][]int64{
+		{1, db.Code("alice")},
+		{2, db.Code("bob")},
+		{3, db.Code("alice")},
+	}
+	if err := db.Load("Name", []string{"id", "name"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Query(`Q(id) :- Name(id, "alice")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), RegularHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if db.Name(db.Code("alice")) != "alice" {
+		t.Error("dictionary round trip failed")
+	}
+}
+
+func TestSemijoinStrategy(t *testing.T) {
+	db := testDB(t, 3)
+	loadTriangleGraph(t, db)
+	edges := SyntheticGraph(800, 150, 9)
+	if err := db.LoadEdges("F", edges); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("P(x,y,z) :- E(x,y), F(y,z)")
+	semi, err := q.RunWith(context.Background(), Semijoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := q.RunWith(context.Background(), RegularHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(semi.Rows) != len(reg.Rows) {
+		t.Fatalf("semijoin %d rows, regular %d", len(semi.Rows), len(reg.Rows))
+	}
+
+	// Cyclic queries must reject the semijoin strategy.
+	tri, _ := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if _, err := tri.RunWith(context.Background(), Semijoin); err == nil {
+		t.Error("semijoin on a cyclic query should fail")
+	}
+}
+
+func TestMemoryLimitOption(t *testing.T) {
+	db := Open(2, WithMemoryLimit(50))
+	defer db.Close()
+	if err := db.LoadEdges("E", SyntheticGraph(2000, 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if _, err := q.RunWith(context.Background(), RegularTributary); err == nil {
+		t.Fatal("tiny memory limit should fail the query")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	db := testDB(t, 2)
+	loadTriangleGraph(t, db)
+	if _, err := db.Query("Q(x) :- Missing(x, y)"); err == nil {
+		t.Error("unknown relation should be rejected")
+	}
+	if _, err := db.Query("Q(x) :- E(x)"); err == nil {
+		t.Error("arity mismatch should be rejected")
+	}
+	if _, err := db.Query("garbage"); err == nil {
+		t.Error("unparsable rule should be rejected")
+	}
+	if err := db.Load("", nil, nil); err == nil {
+		t.Error("empty relation spec should be rejected")
+	}
+	if err := db.Load("Bad", []string{"a", "b"}, [][]int64{{1}}); err == nil {
+		t.Error("ragged rows should be rejected")
+	}
+}
+
+func TestRelationsAndCardinality(t *testing.T) {
+	db := testDB(t, 2)
+	loadTriangleGraph(t, db)
+	names := db.Relations()
+	if len(names) != 1 || names[0] != "E" {
+		t.Fatalf("Relations = %v", names)
+	}
+	if db.Cardinality("E") == 0 || db.Cardinality("nope") != 0 {
+		t.Fatalf("Cardinality E=%d nope=%d", db.Cardinality("E"), db.Cardinality("nope"))
+	}
+}
+
+func TestOpenTCPFacade(t *testing.T) {
+	db, err := OpenTCP([]string{"127.0.0.1:0", "127.0.0.1:0"}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.LoadEdges("E", SyntheticGraph(500, 80, 5)); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := db.Query("P(x,y,z) :- E(x,y), E(y,z)")
+	res, err := q.RunWith(context.Background(), RegularHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no paths over TCP cluster")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	db := testDB(t, 2)
+	loadTriangleGraph(t, db)
+	q, err := db.Query("Asc(x,y,z) :- E(x,y), E(y,z), x<y, y<z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if !(r[0] < r[1] && r[1] < r[2]) {
+			t.Fatalf("row %v violates filters", r)
+		}
+	}
+}
