@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -14,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"parajoin/internal/debug"
 	"parajoin/internal/experiments"
 	"parajoin/internal/planner"
+	"parajoin/internal/trace"
 )
 
 type experiment struct {
@@ -126,11 +129,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchrunner: ")
 	var (
-		expList = flag.String("exp", "", "comma-separated experiment names (default: all); see -list")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		workers = flag.Int("workers", 64, "cluster size")
-		edges   = flag.Int("edges", 0, "override synthetic graph edges")
-		timeout = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		expList   = flag.String("exp", "", "comma-separated experiment names (default: all); see -list")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		workers   = flag.Int("workers", 64, "cluster size")
+		edges     = flag.Int("edges", 0, "override synthetic graph edges")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		jsonPath  = flag.String("json", "", "write every run's full report as JSON to this file (- for stdout)")
+		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -146,6 +151,16 @@ func main() {
 	suite.Timeout = *timeout
 	if *edges > 0 {
 		suite.Graph.Edges = *edges
+	}
+	suite.Record = *jsonPath != ""
+	if *debugAddr != "" {
+		ring := trace.NewRing(4096)
+		suite.Tracer = trace.New(ring)
+		addr, err := debug.Serve(*debugAddr, ring)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/\n", addr)
 	}
 	defer suite.Close()
 
@@ -169,4 +184,25 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", e.name, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Printf("all experiments done in %v\n", time.Since(start).Round(time.Second))
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, suite.Outcomes()); err != nil {
+			log.Fatalf("writing %s: %v", *jsonPath, err)
+		}
+	}
+}
+
+func writeJSON(path string, outcomes []*experiments.RecordedOutcome) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outcomes)
 }

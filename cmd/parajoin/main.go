@@ -19,8 +19,10 @@ import (
 
 	"parajoin/internal/core"
 	"parajoin/internal/dataset"
+	"parajoin/internal/debug"
 	"parajoin/internal/experiments"
 	"parajoin/internal/planner"
+	"parajoin/internal/trace"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 		memLimit  = flag.Int64("mem-limit", 2_000_000, "per-worker tuple budget (0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print per-exchange load balance")
 		explain   = flag.Bool("explain", false, "print the physical plan before running")
+		traceFile = flag.String("trace", "", "write trace events as JSON Lines to this file")
+		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -50,6 +54,29 @@ func main() {
 	suite.KB.Performances = *perfs
 	suite.Timeout = *timeout
 	suite.MemLimitTuples = *memLimit
+
+	var sinks []trace.Sink
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sink := trace.NewJSONLSink(f)
+		defer sink.Close()
+		sinks = append(sinks, sink)
+	}
+	if *debugAddr != "" {
+		ring := trace.NewRing(4096)
+		sinks = append(sinks, ring)
+		addr, err := debug.Serve(*debugAddr, ring)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/\n", addr)
+	}
+	if len(sinks) > 0 {
+		suite.Tracer = trace.New(trace.MultiSink(sinks...))
+	}
 	defer suite.Close()
 
 	var adhoc *core.Query

@@ -15,8 +15,12 @@
 //	\rels                     list loaded relations
 //	\strategy [name]          show or set the strategy (auto, hc_tj, ...)
 //	\count <rule>             run a rule, printing only the answer count
+//	\explain <rule>           run a rule and print its plan with actuals
 //	\limit <n>                rows printed per query (default 10)
 //	\quit                     exit
+//
+// With -debug-addr the shell serves pprof profiles, expvar counters, and
+// recent trace events over HTTP while queries run.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"parajoin"
+	"parajoin/internal/debug"
 )
 
 type shell struct {
@@ -44,10 +49,22 @@ type shell struct {
 func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 8, "cluster size")
+	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 	flag.Parse()
 
+	var opts []parajoin.Option
+	if *debugAddr != "" {
+		ring := parajoin.NewTraceRing(4096)
+		opts = append(opts, parajoin.WithTracer(parajoin.NewTracer(ring)))
+		addr, err := debug.Serve(*debugAddr, ring)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		fmt.Printf("debug server on http://%s/debug/\n", addr)
+	}
+
 	sh := &shell{
-		db:       parajoin.Open(*workers),
+		db:       parajoin.Open(*workers, opts...),
 		strategy: parajoin.Auto,
 		limit:    10,
 		out:      os.Stdout,
@@ -155,6 +172,22 @@ func (sh *shell) command(line string) error {
 			return fmt.Errorf(`usage: \count <rule>`)
 		}
 		return sh.runRule(rule, true)
+
+	case `\explain`:
+		rule := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+		if rule == "" {
+			return fmt.Errorf(`usage: \explain <rule>`)
+		}
+		q, err := sh.db.Query(rule)
+		if err != nil {
+			return err
+		}
+		out, err := q.ExplainAnalyze(context.Background(), sh.strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, out)
+		return nil
 	}
 	return fmt.Errorf("unknown command %s", fields[0])
 }

@@ -1,0 +1,74 @@
+// Package debug serves live engine diagnostics over HTTP: pprof profiles,
+// expvar counters (including the engine's process-wide live counters), and
+// the most recent trace events. Every parajoin CLI wires it to a
+// -debug-addr flag so a running query can be profiled and watched from a
+// browser or curl.
+package debug
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"parajoin/internal/engine"
+	"parajoin/internal/trace"
+)
+
+var publishOnce sync.Once
+
+// publishEngineVars registers the engine's live counters as the
+// "parajoin_engine" expvar. Safe to call many times; expvar panics on
+// duplicate names, hence the once.
+func publishEngineVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("parajoin_engine", expvar.Func(func() any {
+			return engine.ReadLiveStats()
+		}))
+	})
+}
+
+// Handler returns the diagnostics mux:
+//
+//	/debug/pprof/*  net/http/pprof profiles
+//	/debug/vars     expvar counters, engine live stats under "parajoin_engine"
+//	/debug/trace    ring's current events as JSON Lines (404 when ring is nil)
+func Handler(ring *trace.Ring) http.Handler {
+	publishEngineVars()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.Error(w, "tracing is not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range ring.Snapshot() {
+			if enc.Encode(e) != nil {
+				return
+			}
+		}
+	})
+	return mux
+}
+
+// Serve binds addr and serves the diagnostics mux in a background
+// goroutine, returning the bound address (useful with ":0"). The server
+// lives for the rest of the process — there is no shutdown, matching its
+// role as an always-on side channel.
+func Serve(addr string, ring *trace.Ring) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, Handler(ring))
+	return ln.Addr().String(), nil
+}

@@ -3,6 +3,9 @@ package engine
 import (
 	"context"
 	"testing"
+
+	"parajoin/internal/core"
+	"parajoin/internal/shares"
 )
 
 func BenchmarkHashShuffle(b *testing.B) {
@@ -24,6 +27,28 @@ func BenchmarkSymmetricHashJoinPlan(b *testing.B) {
 	c.Load(randGraph("R", 20000, 2000, 211))
 	c.Load(randGraph("S", 20000, 2000, 212))
 	plan := rsJoinPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(context.Background(), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTriangle is the tracing-overhead sentinel: the HyperCube +
+// Tributary triangle with tracing disabled (the default). The span shim is
+// only installed when a tracer is set, so allocs/op here must not move when
+// the trace plumbing changes.
+func BenchmarkTriangle(b *testing.B) {
+	q := triangleQuery()
+	c := NewCluster(8)
+	defer c.Close()
+	c.Load(randGraph("R", 5000, 500, 214))
+	c.Load(randGraph("S", 5000, 500, 215))
+	c.Load(randGraph("T", 5000, 500, 216))
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{2, 2, 2}}
+	plan := hcTrianglePlan(q, cfg, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Run(context.Background(), plan); err != nil {

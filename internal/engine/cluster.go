@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"parajoin/internal/rel"
+	"parajoin/internal/trace"
 )
 
 // Cluster is a shared-nothing cluster of workers. Each worker owns a set of
@@ -19,6 +20,10 @@ type Cluster struct {
 	// unlimited. When exceeded the run fails with ErrOutOfMemory — the
 	// paper's "FAIL" entries for RS_TJ on Q4/Q5.
 	MaxLocalTuples int64
+	// Tracer receives span events for every run on this cluster. Nil (the
+	// default) disables tracing at zero cost: operators are not wrapped and
+	// no events are built. Set it before running queries.
+	Tracer *trace.Tracer
 
 	workers   int
 	hosted    []int

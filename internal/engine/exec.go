@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parajoin/internal/rel"
+	"parajoin/internal/trace"
 )
 
 // exec holds the state of one query run.
@@ -17,6 +19,7 @@ type exec struct {
 	cluster   *Cluster
 	transport Transport
 	metrics   *Metrics
+	tracer    *trace.Tracer
 	ctx       context.Context
 	cancel    context.CancelCauseFunc
 	batchSize int
@@ -55,8 +58,24 @@ func (e *exec) memErr(worker int) error {
 	return nil
 }
 
-// compile turns a plan node into a runtime operator for one task.
+// compile turns a plan node into a runtime operator for one task. With
+// tracing enabled every operator is wrapped in a span shim that counts rows
+// and inclusive wall time; ids are assigned in postorder (children before
+// parents, compile order), the numbering walkNodes mirrors.
 func (e *exec) compile(n Node, t *task) (operator, error) {
+	op, err := e.compileNode(n, t)
+	if err != nil {
+		return nil, err
+	}
+	id := t.opSeq
+	t.opSeq++
+	if e.tracer.Enabled() {
+		op = &spanOp{in: op, t: t, id: id, label: opLabel(n)}
+	}
+	return op, nil
+}
+
+func (e *exec) compileNode(n Node, t *task) (operator, error) {
 	switch v := n.(type) {
 	case Scan:
 		frag := e.cluster.Fragment(t.worker, v.Table)
@@ -151,9 +170,16 @@ func (e *exec) compile(n Node, t *task) (operator, error) {
 		return op, nil
 
 	case Tributary:
+		// Compile inputs in sorted-alias order so operator ids are
+		// deterministic across workers and runs (map order is not).
+		aliases := make([]string, 0, len(v.Inputs))
+		for alias := range v.Inputs {
+			aliases = append(aliases, alias)
+		}
+		sort.Strings(aliases)
 		inputs := make(map[string]operator, len(v.Inputs))
-		for alias, in := range v.Inputs {
-			op, err := e.compile(in, t)
+		for _, alias := range aliases {
+			op, err := e.compile(v.Inputs[alias], t)
 			if err != nil {
 				return nil, err
 			}
@@ -194,10 +220,17 @@ func noDuplicateColumns(s rel.Schema) error {
 // runExchange drains the exchange's input tree on one worker and routes
 // every tuple to its destinations.
 func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
-	t := &task{ex: e, worker: w}
+	t := &task{ex: e, worker: w, exchange: spec.ID}
 	start := time.Now()
+	var sent int64
 	defer func() {
 		e.metrics.addBusy(w, time.Since(start)-t.wait)
+		if e.tracer.Enabled() {
+			e.tracer.Emit(trace.Event{
+				Kind: trace.KindSend, Run: e.epoch, Worker: w, Exchange: spec.ID,
+				Name: spec.Name, Tuples: sent, Dur: time.Since(start),
+			})
+		}
 	}()
 	// Always announce end-of-stream, even on failure, so consumers blocked
 	// on Recv terminate (the run context also cancels them, belt and
@@ -213,7 +246,7 @@ func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
 	}
 	defer in.close()
 
-	route, err := e.router(spec, in.schema())
+	route, err := e.router(spec, in.schema(), &sent)
 	if err != nil {
 		return err
 	}
@@ -234,8 +267,9 @@ func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
 
 // router returns the routing function for an exchange. It buffers per
 // destination and flushes batches through the transport, counting every
-// tuple sent.
-func (e *exec) router(spec *ExchangeSpec, sch rel.Schema) (func(src int, b []rel.Tuple) error, error) {
+// tuple sent (sent accumulates the post-replication total for the producer's
+// trace span).
+func (e *exec) router(spec *ExchangeSpec, sch rel.Schema, sent *int64) (func(src int, b []rel.Tuple) error, error) {
 	n := e.cluster.Workers()
 	outs := make([][]rel.Tuple, n)
 	flush := func(src, dst int, force bool) error {
@@ -244,6 +278,7 @@ func (e *exec) router(spec *ExchangeSpec, sch rel.Schema) (func(src int, b []rel
 		}
 		batch := outs[dst]
 		outs[dst] = nil
+		*sent += int64(len(batch))
 		e.metrics.addSent(spec.ID, spec.Name, src, int64(len(batch)))
 		return e.transport.Send(e.ctx, e.wireID(spec.ID), src, dst, batch)
 	}
@@ -349,6 +384,10 @@ func (c *Cluster) Run(ctx context.Context, plan *Plan) (*rel.Relation, *Report, 
 
 // RunFragments is Run, keeping the per-worker result fragments separate.
 func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation, *Report, error) {
+	return c.runFragments(ctx, plan, c.Tracer)
+}
+
+func (c *Cluster) runFragments(ctx context.Context, plan *Plan, tracer *trace.Tracer) ([]*rel.Relation, *Report, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -360,6 +399,7 @@ func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation
 		cluster:   c,
 		transport: c.transport,
 		metrics:   NewMetrics(n),
+		tracer:    tracer,
 		ctx:       runCtx,
 		cancel:    cancel,
 		batchSize: c.BatchSize,
@@ -368,6 +408,16 @@ func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation
 		memUsed:   make([]atomic.Int64, n),
 		memBlown:  make([]atomic.Bool, n),
 	}
+	meter, _ := c.transport.(TransportMeter)
+	var ts0 TransportStats
+	if meter != nil {
+		ts0 = meter.TransportStats()
+	}
+	live.runsStarted.Add(1)
+	live.activeRuns.Add(1)
+	defer live.activeRuns.Add(-1)
+	defer live.runsCompleted.Add(1)
+	e.tracer.Emit(trace.Event{Kind: trace.KindRun, Run: e.epoch, Worker: -1, Exchange: -1, Name: "start"})
 
 	frags := make([]*rel.Relation, n)
 	var wg sync.WaitGroup
@@ -412,8 +462,25 @@ func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation
 	}
 
 	wg.Wait()
-	report := e.metrics.report(time.Since(start))
+	wall := time.Since(start)
+	report := e.metrics.report(wall)
 	report.CPUTime = processCPU() - cpu0
+	if meter != nil {
+		// On a transport shared by concurrent runs the byte deltas cover
+		// everything in flight, not just this run; parajoin's usage (one
+		// run at a time per cluster) makes them exact.
+		ts1 := meter.TransportStats()
+		report.BytesSent = ts1.BytesSent - ts0.BytesSent
+		report.BytesReceived = ts1.BytesReceived - ts0.BytesReceived
+		report.BatchesSent = ts1.BatchesSent - ts0.BatchesSent
+		report.BatchesReceived = ts1.BatchesReceived - ts0.BatchesReceived
+		report.MaxQueueDepth = ts1.MaxQueueDepth
+	}
+	e.tracer.Emit(trace.Event{
+		Kind: trace.KindRun, Run: e.epoch, Worker: -1, Exchange: -1,
+		Name: "end", Dur: wall, Bytes: report.BytesSent,
+	})
+	e.tracer.Flush()
 
 	errMu.Lock()
 	err := firstErr
@@ -429,7 +496,7 @@ func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation
 
 // runRoot drains the root tree on one worker into a result fragment.
 func (e *exec) runRoot(root Node, w int) (*rel.Relation, error) {
-	t := &task{ex: e, worker: w}
+	t := &task{ex: e, worker: w, exchange: -1}
 	start := time.Now()
 	defer func() {
 		e.metrics.addBusy(w, time.Since(start)-t.wait)

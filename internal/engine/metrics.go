@@ -68,6 +68,7 @@ func (m *Metrics) addSent(id int, name string, worker int, n int64) {
 	m.mu.Lock()
 	em.Sent[worker] += n
 	m.mu.Unlock()
+	live.tuplesSent.Add(n)
 }
 
 func (m *Metrics) addReceived(id, worker int, n int64) {
@@ -75,6 +76,7 @@ func (m *Metrics) addReceived(id, worker int, n int64) {
 	m.mu.Lock()
 	em.Received[worker] += n
 	m.mu.Unlock()
+	live.tuplesReceived.Add(n)
 }
 
 func (m *Metrics) addBusy(worker int, d time.Duration) {
@@ -138,6 +140,17 @@ type Report struct {
 	// counts their trie searches. Both are deterministic work measures.
 	Sorted []int64
 	Seeks  []int64
+	// BytesSent/BytesReceived and BatchesSent/BatchesReceived count the
+	// run's transport traffic — wire bytes on TCPTransport, 8 bytes per
+	// value on MemTransport. Zero when the transport has no meter.
+	BytesSent       int64
+	BytesReceived   int64
+	BatchesSent     int64
+	BatchesReceived int64
+	// MaxQueueDepth is the transport's batch-backlog high-water mark (a
+	// lifetime maximum, not reset between runs) — large values mean slow
+	// consumers let producers run far ahead.
+	MaxQueueDepth int64
 	// Exchanges lists per-exchange traffic in plan order.
 	Exchanges []ExchangeReport
 }
@@ -287,5 +300,5 @@ func skew(max, total int64, workers int) float64 {
 
 func (r *Report) String() string {
 	return fmt.Sprintf("wall=%v cpu=%v shuffled=%d tuples over %d exchanges (consumer skew ≤ %.2f)",
-		r.WallTime, r.TotalBusy(), r.TotalTuplesShuffled(), len(r.Exchanges), r.MaxConsumerSkew())
+		r.WallTime, r.TotalCPU(), r.TotalTuplesShuffled(), len(r.Exchanges), r.MaxConsumerSkew())
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -20,9 +21,9 @@ func TestSkewHelper(t *testing.T) {
 
 func TestReportAggregates(t *testing.T) {
 	r := &Report{
-		Workers:  4,
-		CPUTime:  3 * time.Second,
-		BusyTime: []time.Duration{time.Second, 2 * time.Second, time.Second, 0},
+		Workers:   4,
+		CPUTime:   3 * time.Second,
+		BusyTime:  []time.Duration{time.Second, 2 * time.Second, time.Second, 0},
 		Processed: []int64{10, 40, 20, 30},
 		Exchanges: []ExchangeReport{
 			{TuplesSent: 100, ConsumerSkew: 2.5},
@@ -84,5 +85,46 @@ func TestProcessCPUAdvances(t *testing.T) {
 	b := processCPU()
 	if b < a {
 		t.Fatalf("process CPU went backwards: %v -> %v", a, b)
+	}
+}
+
+func TestMemTransportByteAccounting(t *testing.T) {
+	c := NewCluster(4)
+	defer c.Close()
+	r := randGraph("R", 1000, 200, 77)
+	c.Load(r)
+	_, report, err := c.Run(context.Background(), shuffleGather("R", []string{"dst"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MemTransport meters the wire-equivalent 8 bytes per value; R has two
+	// columns and every tuple crosses the exchange exactly once.
+	want := int64(16 * r.Cardinality())
+	if report.BytesSent != want || report.BytesReceived != want {
+		t.Fatalf("byte deltas sent=%d received=%d, want %d both ways", report.BytesSent, report.BytesReceived, want)
+	}
+	if report.BatchesSent == 0 || report.BatchesSent != report.BatchesReceived {
+		t.Fatalf("batch deltas sent=%d received=%d", report.BatchesSent, report.BatchesReceived)
+	}
+}
+
+func TestReportDeltasResetBetweenRuns(t *testing.T) {
+	c := NewCluster(4)
+	defer c.Close()
+	r := randGraph("R", 1000, 200, 78)
+	c.Load(r)
+	plan := shuffleGather("R", []string{"dst"})
+	_, first, err := c.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := c.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counters are cumulative on the transport but the report carries
+	// per-run deltas, so two identical runs report identical traffic.
+	if first.BytesSent != second.BytesSent {
+		t.Fatalf("per-run byte deltas drifted: %d then %d", first.BytesSent, second.BytesSent)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"parajoin/internal/core"
 	"parajoin/internal/ljoin"
 	"parajoin/internal/rel"
+	"parajoin/internal/trace"
 )
 
 // ErrOutOfMemory is returned when a worker's materialized state exceeds the
@@ -26,12 +27,15 @@ type operator interface {
 }
 
 // task groups the per-task state operators need: the worker, the run-wide
-// executor, and the wait accumulator used to subtract transport stalls from
-// busy time.
+// executor, the exchange tree the task drains (-1 for the root tree), a
+// postorder operator-id counter for tracing, and the wait accumulator used
+// to subtract transport stalls from busy time.
 type task struct {
-	ex     *exec
-	worker int
-	wait   time.Duration
+	ex       *exec
+	worker   int
+	exchange int
+	opSeq    int
+	wait     time.Duration
 }
 
 // ---------------------------------------------------------------- scan
@@ -400,8 +404,10 @@ func (o *tributaryOp) open() error {
 	if err != nil {
 		return err
 	}
-	o.t.ex.metrics.addSort(o.t.worker, time.Since(sortStart))
+	sortDur := time.Since(sortStart)
+	o.t.ex.metrics.addSort(o.t.worker, sortDur)
 	o.t.ex.metrics.addSorted(o.t.worker, inputTuples)
+	o.emitPhase("sort", sortDur, inputTuples)
 
 	joinStart := time.Now()
 	runErr := p.Run(func(t rel.Tuple) bool {
@@ -411,12 +417,27 @@ func (o *tributaryOp) open() error {
 		o.results = append(o.results, t.Clone())
 		return true
 	})
-	o.t.ex.metrics.addJoin(o.t.worker, time.Since(joinStart))
+	joinDur := time.Since(joinStart)
+	o.t.ex.metrics.addJoin(o.t.worker, joinDur)
 	o.t.ex.metrics.addSeeks(o.t.worker, p.Stats().Seeks)
+	o.emitPhase("join", joinDur, int64(len(o.results)))
 	if runErr != nil {
 		return runErr
 	}
 	return o.t.ex.memErr(o.t.worker)
+}
+
+// emitPhase traces one Tributary phase (the per-worker breakdown behind
+// the paper's Table 5).
+func (o *tributaryOp) emitPhase(name string, d time.Duration, tuples int64) {
+	e := o.t.ex
+	if !e.tracer.Enabled() {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Kind: trace.KindPhase, Run: e.epoch, Worker: o.t.worker,
+		Exchange: o.t.exchange, Name: name, Tuples: tuples, Dur: d,
+	})
 }
 
 func (o *tributaryOp) next() ([]rel.Tuple, error) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"parajoin/internal/rel"
+	"parajoin/internal/trace"
 )
 
 // Round is one communication round of a multi-round plan (the Yannakakis
@@ -23,6 +24,13 @@ type Round struct {
 // and merging metrics. Temporary relations created by StoreAs are dropped
 // afterwards. The last round must have StoreAs == "".
 func (c *Cluster) RunRounds(ctx context.Context, rounds []Round) (*rel.Relation, *Report, error) {
+	return c.RunRoundsTraced(ctx, rounds, c.Tracer)
+}
+
+// RunRoundsTraced is RunRounds with an explicit tracer for this execution,
+// overriding the cluster's default — EXPLAIN ANALYZE uses it to capture one
+// run's events without re-configuring the cluster.
+func (c *Cluster) RunRoundsTraced(ctx context.Context, rounds []Round, tracer *trace.Tracer) (*rel.Relation, *Report, error) {
 	if len(rounds) == 0 {
 		return nil, nil, fmt.Errorf("engine: no rounds")
 	}
@@ -38,7 +46,7 @@ func (c *Cluster) RunRounds(ctx context.Context, rounds []Round) (*rel.Relation,
 
 	var combined *Report
 	for i, round := range rounds {
-		frags, report, err := c.RunFragments(ctx, round.Plan)
+		frags, report, err := c.runFragments(ctx, round.Plan, tracer)
 		combined = mergeReports(combined, report)
 		if err != nil {
 			return nil, combined, fmt.Errorf("engine: round %d (%s): %w", i, round.Name, err)
@@ -69,15 +77,20 @@ func mergeReports(a, b *Report) *Report {
 		return b
 	}
 	out := &Report{
-		Workers:   a.Workers,
-		WallTime:  a.WallTime + b.WallTime,
-		CPUTime:   a.CPUTime + b.CPUTime,
-		BusyTime:  append([]time.Duration(nil), a.BusyTime...),
-		SortTime:  append([]time.Duration(nil), a.SortTime...),
-		JoinTime:  append([]time.Duration(nil), a.JoinTime...),
-		Processed: append([]int64(nil), a.Processed...),
-		Sorted:    append([]int64(nil), a.Sorted...),
-		Seeks:     append([]int64(nil), a.Seeks...),
+		Workers:         a.Workers,
+		WallTime:        a.WallTime + b.WallTime,
+		CPUTime:         a.CPUTime + b.CPUTime,
+		BusyTime:        append([]time.Duration(nil), a.BusyTime...),
+		SortTime:        append([]time.Duration(nil), a.SortTime...),
+		JoinTime:        append([]time.Duration(nil), a.JoinTime...),
+		Processed:       append([]int64(nil), a.Processed...),
+		Sorted:          append([]int64(nil), a.Sorted...),
+		Seeks:           append([]int64(nil), a.Seeks...),
+		BytesSent:       a.BytesSent + b.BytesSent,
+		BytesReceived:   a.BytesReceived + b.BytesReceived,
+		BatchesSent:     a.BatchesSent + b.BatchesSent,
+		BatchesReceived: a.BatchesReceived + b.BatchesReceived,
+		MaxQueueDepth:   max(a.MaxQueueDepth, b.MaxQueueDepth),
 	}
 	for i := range out.BusyTime {
 		out.BusyTime[i] += b.BusyTime[i]

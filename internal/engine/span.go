@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"parajoin/internal/rel"
+	"parajoin/internal/trace"
+)
+
+// spanOp is the tracing shim compile wraps every operator in when the run
+// has a tracer: it counts rows emitted and inclusive wall time (open plus
+// every next, children included) and emits one KindOp event per worker when
+// the operator closes. With tracing disabled compile skips the wrapper
+// entirely, so the operator hot path pays nothing.
+type spanOp struct {
+	in    operator
+	t     *task
+	id    int
+	label string
+
+	rows    int64
+	dur     time.Duration
+	emitted bool
+}
+
+func (o *spanOp) schema() rel.Schema { return o.in.schema() }
+
+func (o *spanOp) open() error {
+	start := time.Now()
+	err := o.in.open()
+	o.dur += time.Since(start)
+	return err
+}
+
+func (o *spanOp) next() ([]rel.Tuple, error) {
+	start := time.Now()
+	b, err := o.in.next()
+	o.dur += time.Since(start)
+	o.rows += int64(len(b))
+	if err == io.EOF {
+		o.emit()
+	}
+	return b, err
+}
+
+func (o *spanOp) close() error {
+	err := o.in.close()
+	o.emit() // error paths never reach EOF; close is the backstop
+	return err
+}
+
+func (o *spanOp) emit() {
+	if o.emitted {
+		return
+	}
+	o.emitted = true
+	e := o.t.ex
+	e.tracer.Emit(trace.Event{
+		Kind: trace.KindOp, Run: e.epoch, Worker: o.t.worker,
+		Exchange: o.t.exchange, Op: o.id, Name: o.label,
+		Tuples: o.rows, Dur: o.dur,
+	})
+}
+
+// opLabel names a plan node in trace events and EXPLAIN ANALYZE output.
+func opLabel(n Node) string {
+	switch v := n.(type) {
+	case Scan:
+		return "scan " + v.Table
+	case Select:
+		return "select"
+	case Project:
+		if v.Dedup {
+			return "project distinct"
+		}
+		return "project"
+	case HashJoin:
+		return "hash join"
+	case SemiJoin:
+		return "semijoin"
+	case Count:
+		return "count"
+	case Tributary:
+		return "tributary " + v.Query.Name
+	case Recv:
+		return fmt.Sprintf("recv exchange %d", v.Exchange)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// live holds the process-wide engine counters the debug endpoint publishes
+// through expvar. They aggregate across every cluster in the process and
+// update at batch granularity, so the atomic traffic is negligible next to
+// the work it measures.
+var live struct {
+	runsStarted    atomic.Int64
+	runsCompleted  atomic.Int64
+	activeRuns     atomic.Int64
+	tuplesSent     atomic.Int64
+	tuplesReceived atomic.Int64
+	batchesSent    atomic.Int64
+	batchesRecv    atomic.Int64
+	bytesSent      atomic.Int64
+	bytesRecv      atomic.Int64
+	queueDepth     atomic.Int64
+}
+
+// LiveStats is a snapshot of the process-wide engine counters.
+type LiveStats struct {
+	RunsStarted     int64
+	RunsCompleted   int64
+	RunsActive      int64
+	TuplesSent      int64
+	TuplesReceived  int64
+	BatchesSent     int64
+	BatchesReceived int64
+	BytesSent       int64
+	BytesReceived   int64
+	QueueDepth      int64
+}
+
+// ReadLiveStats snapshots the live counters (the debug package publishes it
+// as an expvar).
+func ReadLiveStats() LiveStats {
+	return LiveStats{
+		RunsStarted:     live.runsStarted.Load(),
+		RunsCompleted:   live.runsCompleted.Load(),
+		RunsActive:      live.activeRuns.Load(),
+		TuplesSent:      live.tuplesSent.Load(),
+		TuplesReceived:  live.tuplesReceived.Load(),
+		BatchesSent:     live.batchesSent.Load(),
+		BatchesReceived: live.batchesRecv.Load(),
+		BytesSent:       live.bytesSent.Load(),
+		BytesReceived:   live.bytesRecv.Load(),
+		QueueDepth:      live.queueDepth.Load(),
+	}
+}

@@ -23,6 +23,7 @@ type TCPTransport struct {
 	n      int
 	addrs  []string
 	hosted map[int]bool
+	transportCounters
 
 	listeners []net.Listener
 	acceptWG  sync.WaitGroup
@@ -114,8 +115,37 @@ func (t *TCPTransport) acceptLoop(l net.Listener) {
 	}
 }
 
+// countReader and countWriter meter the wire: every byte read from or
+// written to a peer connection lands in the transport's counters, gob
+// framing and type descriptors included.
+type countReader struct {
+	c   net.Conn
+	ctr *transportCounters
+}
+
+func (r countReader) Read(p []byte) (int, error) {
+	n, err := r.c.Read(p)
+	if n > 0 {
+		r.ctr.countReceived(0, int64(n))
+	}
+	return n, err
+}
+
+type countWriter struct {
+	c   net.Conn
+	ctr *transportCounters
+}
+
+func (w countWriter) Write(p []byte) (int, error) {
+	n, err := w.c.Write(p)
+	if n > 0 {
+		w.ctr.countSent(0, int64(n))
+	}
+	return n, err
+}
+
 func (t *TCPTransport) readLoop(c net.Conn) {
-	dec := gob.NewDecoder(c)
+	dec := gob.NewDecoder(countReader{c: c, ctr: &t.transportCounters})
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
@@ -127,6 +157,7 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			q.closeOne()
 			continue
 		}
+		t.countReceived(1, 0)
 		batch := make([]rel.Tuple, len(f.Tuples))
 		for i, tu := range f.Tuples {
 			batch[i] = rel.Tuple(tu)
@@ -141,7 +172,7 @@ func (t *TCPTransport) queue(exchange, worker int) *memQueue {
 	k := inboxKey{exchange, worker}
 	q, ok := t.inbox[k]
 	if !ok {
-		q = newMemQueue(t.n)
+		q = newMemQueue(t.n, &t.transportCounters)
 		t.inbox[k] = q
 	}
 	return q
@@ -162,7 +193,7 @@ func (t *TCPTransport) conn(addr string) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: dial %s: %w", addr, err)
 	}
-	tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	tc = &tcpConn{c: c, enc: gob.NewEncoder(countWriter{c: c, ctr: &t.transportCounters})}
 	t.mu.Lock()
 	if prev, ok := t.conns[addr]; ok {
 		t.mu.Unlock()
@@ -195,6 +226,7 @@ func (t *TCPTransport) Send(ctx context.Context, exchangeID, src, dst int, batch
 	for i, tu := range batch {
 		tuples[i] = []int64(tu)
 	}
+	t.countSent(1, 0) // wire bytes are counted by the connection's countWriter
 	return t.send(&frame{Exchange: exchangeID, Src: src, Dst: dst, Tuples: tuples}, t.addrs[dst])
 }
 

@@ -65,6 +65,73 @@ func TestTCPJoinPlanMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestTCPByteTotalsAgree checks the wire meter's parity invariant: once a
+// run completes every sent frame has been decoded (close frames are the
+// last on each connection, and the run only finishes after all of them are
+// consumed), so sent and received byte totals must match exactly — gob
+// type descriptors and framing included.
+func TestTCPByteTotalsAgree(t *testing.T) {
+	c := loopbackCluster(t, 3)
+	r := randGraph("R", 500, 60, 44)
+	c.Load(r)
+	_, report, err := c.Run(context.Background(), shuffleGather("R", []string{"dst"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Transport().(TransportMeter).TransportStats()
+	if stats.BytesSent == 0 {
+		t.Fatal("TCP transport metered no sent bytes")
+	}
+	if stats.BytesSent != stats.BytesReceived {
+		t.Fatalf("byte totals disagree: sent=%d received=%d", stats.BytesSent, stats.BytesReceived)
+	}
+	if stats.BatchesSent != stats.BatchesReceived {
+		t.Fatalf("batch totals disagree: sent=%d received=%d", stats.BatchesSent, stats.BatchesReceived)
+	}
+	if stats.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after the run drained", stats.QueueDepth)
+	}
+	// The report's per-run deltas cover the transport's only run.
+	if report.BytesSent != stats.BytesSent || report.BytesReceived != stats.BytesReceived {
+		t.Fatalf("report deltas (%d/%d) disagree with transport totals (%d/%d)",
+			report.BytesSent, report.BytesReceived, stats.BytesSent, stats.BytesReceived)
+	}
+}
+
+// TestTCPTwoProcessByteParity checks the same invariant across endpoints:
+// what both processes sent equals what both received.
+func TestTCPTwoProcessByteParity(t *testing.T) {
+	a, b := twoProcessCluster(t)
+	r := randGraph("R", 800, 90, 45)
+	a.Load(r)
+	b.Load(r)
+
+	plan := shuffleGather("R", []string{"dst"})
+	errs := make(chan error, 2)
+	for _, c := range []*Cluster{a, b} {
+		go func(c *Cluster) {
+			_, _, err := c.RunFragments(context.Background(), plan)
+			errs <- err
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa := a.Transport().(TransportMeter).TransportStats()
+	sb := b.Transport().(TransportMeter).TransportStats()
+	if sa.BytesSent+sb.BytesSent == 0 {
+		t.Fatal("no bytes metered across either endpoint")
+	}
+	if got, want := sa.BytesReceived+sb.BytesReceived, sa.BytesSent+sb.BytesSent; got != want {
+		t.Fatalf("cross-endpoint byte totals disagree: received=%d sent=%d (A %+v, B %+v)", got, want, sa, sb)
+	}
+	if got, want := sa.BatchesReceived+sb.BatchesReceived, sa.BatchesSent+sb.BatchesSent; got != want {
+		t.Fatalf("cross-endpoint batch totals disagree: received=%d sent=%d", got, want)
+	}
+}
+
 func TestTCPRecvUnhostedWorker(t *testing.T) {
 	tr, err := NewTCPTransport([]string{"127.0.0.1:0", "127.0.0.1:0"}, []int{0})
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"parajoin/internal/rel"
 )
@@ -32,16 +33,102 @@ type Transport interface {
 	Close() error
 }
 
-// memQueue is an unbounded FIFO of batches with producer accounting.
+// TransportStats counts a transport's lifetime traffic: batches and bytes
+// in each direction plus queue-depth gauges. Byte counts are wire bytes for
+// TCPTransport and the wire-equivalent 8 bytes per value for MemTransport.
+// Counters are cumulative since the transport was created; the engine
+// snapshots them around each run to put per-run deltas in the Report.
+type TransportStats struct {
+	BatchesSent     int64
+	BatchesReceived int64
+	BytesSent       int64
+	BytesReceived   int64
+	// QueueDepth is the number of batches currently enqueued and not yet
+	// received; MaxQueueDepth is its high-water mark — the backlog a slow
+	// consumer (straggler) let build up.
+	QueueDepth    int64
+	MaxQueueDepth int64
+}
+
+// TransportMeter is implemented by transports that count their traffic.
+// Both built-in transports implement it.
+type TransportMeter interface {
+	TransportStats() TransportStats
+}
+
+// transportCounters is the shared TransportMeter implementation.
+type transportCounters struct {
+	batchesSent   atomic.Int64
+	batchesRecv   atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
+	queueDepth    atomic.Int64
+	maxQueueDepth atomic.Int64
+}
+
+func (c *transportCounters) countSent(batches, bytes int64) {
+	c.batchesSent.Add(batches)
+	c.bytesSent.Add(bytes)
+	live.batchesSent.Add(batches)
+	live.bytesSent.Add(bytes)
+}
+
+func (c *transportCounters) countReceived(batches, bytes int64) {
+	c.batchesRecv.Add(batches)
+	c.bytesRecv.Add(bytes)
+	live.batchesRecv.Add(batches)
+	live.bytesRecv.Add(bytes)
+}
+
+func (c *transportCounters) enqueued() {
+	d := c.queueDepth.Add(1)
+	live.queueDepth.Add(1)
+	for {
+		m := c.maxQueueDepth.Load()
+		if d <= m || c.maxQueueDepth.CompareAndSwap(m, d) {
+			return
+		}
+	}
+}
+
+func (c *transportCounters) dequeued() {
+	c.queueDepth.Add(-1)
+	live.queueDepth.Add(-1)
+}
+
+// TransportStats implements TransportMeter.
+func (c *transportCounters) TransportStats() TransportStats {
+	return TransportStats{
+		BatchesSent:     c.batchesSent.Load(),
+		BatchesReceived: c.batchesRecv.Load(),
+		BytesSent:       c.bytesSent.Load(),
+		BytesReceived:   c.bytesRecv.Load(),
+		QueueDepth:      c.queueDepth.Load(),
+		MaxQueueDepth:   c.maxQueueDepth.Load(),
+	}
+}
+
+// batchWireBytes is the wire-equivalent size of a batch: 8 bytes per value.
+func batchWireBytes(batch []rel.Tuple) int64 {
+	var n int64
+	for _, t := range batch {
+		n += 8 * int64(len(t))
+	}
+	return n
+}
+
+// memQueue is an unbounded FIFO of batches with producer accounting and an
+// optional depth gauge.
 type memQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	batches [][]rel.Tuple
 	open    int // producers that have not closed yet
+	ctr     *transportCounters
 }
 
-func newMemQueue(producers int) *memQueue {
-	q := &memQueue{open: producers}
+func newMemQueue(producers int, ctr *transportCounters) *memQueue {
+	q := &memQueue{open: producers, ctr: ctr}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -49,6 +136,11 @@ func newMemQueue(producers int) *memQueue {
 func (q *memQueue) push(batch []rel.Tuple) {
 	q.mu.Lock()
 	q.batches = append(q.batches, batch)
+	// Inside the lock so the gauge can never go negative: pop decrements
+	// under the same lock, after this increment is visible.
+	if q.ctr != nil {
+		q.ctr.enqueued()
+	}
 	q.mu.Unlock()
 	q.cond.Signal()
 }
@@ -69,6 +161,9 @@ func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
 		if len(q.batches) > 0 {
 			b := q.batches[0]
 			q.batches = q.batches[1:]
+			if q.ctr != nil {
+				q.ctr.dequeued()
+			}
 			return b, true, nil
 		}
 		if q.open <= 0 {
@@ -88,6 +183,7 @@ func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
 // and the single-process engine; TCPTransport provides the wire version.
 type MemTransport struct {
 	workers int
+	transportCounters
 
 	mu     sync.Mutex
 	queues map[int][]*memQueue // exchangeID -> per-destination queues
@@ -111,7 +207,7 @@ func (t *MemTransport) queue(exchangeID, dst int) *memQueue {
 	if !ok {
 		qs = make([]*memQueue, t.workers)
 		for i := range qs {
-			qs[i] = newMemQueue(t.workers)
+			qs[i] = newMemQueue(t.workers, &t.transportCounters)
 		}
 		t.queues[exchangeID] = qs
 	}
@@ -126,6 +222,7 @@ func (t *MemTransport) Send(ctx context.Context, exchangeID, src, dst int, batch
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	t.countSent(1, batchWireBytes(batch))
 	t.queue(exchangeID, dst).push(batch)
 	return nil
 }
@@ -150,6 +247,9 @@ func (t *MemTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 			return nil, false, cerr
 		}
 		return nil, false, err
+	}
+	if ok {
+		t.countReceived(1, batchWireBytes(b))
 	}
 	return b, ok, nil
 }

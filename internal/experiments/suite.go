@@ -24,6 +24,7 @@ import (
 	"parajoin/internal/planner"
 	"parajoin/internal/queries"
 	"parajoin/internal/stats"
+	"parajoin/internal/trace"
 )
 
 // Suite holds the workload and cluster every experiment runs against.
@@ -40,6 +41,12 @@ type Suite struct {
 	Timeout time.Duration
 	// Seed drives order sampling.
 	Seed int64
+	// Tracer, when set, traces every run on the suite's clusters (set it
+	// before the first Cluster call).
+	Tracer *trace.Tracer
+	// Record keeps a RecordedOutcome per executed run, retrievable with
+	// Outcomes — the data behind benchrunner's -json report.
+	Record bool
 
 	mu         sync.Mutex
 	workload   *queries.Workload
@@ -48,6 +55,7 @@ type Suite struct {
 	planners   map[int]*planner.Planner
 	sixCache   map[string]*SixConfigs
 	orderCache map[string]*OrderStudy
+	outcomes   []*RecordedOutcome
 }
 
 // NewSuite returns a suite with laptop-scale defaults: 64 workers (the
@@ -102,6 +110,7 @@ func (s *Suite) Cluster(n int) *engine.Cluster {
 		w := s.workloadLocked()
 		c = engine.NewCluster(n)
 		c.MaxLocalTuples = s.MemLimitTuples
+		c.Tracer = s.Tracer
 		for _, r := range w.Relations {
 			c.Load(r)
 		}
@@ -156,6 +165,29 @@ type RunOutcome struct {
 	Plan     *planner.Result
 }
 
+// RecordedOutcome is one executed run in the suite's log (see Record): the
+// RunOutcome's measurements plus identifying context, with the full Report
+// (byte counters included) for machine consumption.
+type RecordedOutcome struct {
+	Query    string
+	Config   string
+	Workers  int
+	Failed   bool   `json:",omitempty"`
+	FailWhy  string `json:",omitempty"`
+	Wall     time.Duration
+	CPU      time.Duration
+	Shuffled int64
+	Results  int
+	Report   *engine.Report `json:",omitempty"`
+}
+
+// Outcomes returns the runs recorded so far (Record must be set).
+func (s *Suite) Outcomes() []*RecordedOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*RecordedOutcome(nil), s.outcomes...)
+}
+
 // RunConfig plans and executes one configuration of a workload query on an
 // n-worker cluster. Out-of-memory and timeout become Failed outcomes (the
 // paper's FAIL cells); other errors are returned.
@@ -205,6 +237,16 @@ func (s *Suite) RunQuery(q *core.Query, cfg planner.PlanConfig, n int) (*RunOutc
 		out.Failed, out.FailWhy = true, "TIMEOUT"
 	default:
 		return nil, fmt.Errorf("experiments: running %s/%v: %w", q.Name, cfg, err)
+	}
+	if s.Record {
+		s.mu.Lock()
+		s.outcomes = append(s.outcomes, &RecordedOutcome{
+			Query: q.Name, Config: cfg.String(), Workers: n,
+			Failed: out.Failed, FailWhy: out.FailWhy,
+			Wall: out.Wall, CPU: out.CPU,
+			Shuffled: out.Shuffled, Results: out.Results, Report: out.Report,
+		})
+		s.mu.Unlock()
 	}
 	return out, nil
 }

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes each event as one JSON line — the durable trace format
+// (load it with jq, pandas, or the /debug/trace endpoint's consumers).
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	w   io.Writer
+}
+
+// NewJSONLSink creates a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(events []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range events {
+		// Encode errors (closed file, full disk) are deliberately dropped:
+		// tracing must never fail a query.
+		_ = s.enc.Encode(&events[i])
+	}
+}
+
+// Close flushes nothing (lines are unbuffered) but closes the underlying
+// writer when it is a Closer.
+func (s *JSONLSink) Close() error {
+	if c, ok := s.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Ring is a fixed-capacity circular event buffer: the in-memory sink behind
+// the live /debug/trace endpoint. Writes overwrite the oldest events.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRing creates a ring holding the most recent n events (n < 1 becomes 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Write implements Sink.
+func (r *Ring) Write(events []Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += int64(len(events))
+	for _, e := range events {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+			r.full = true
+		}
+	}
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever written (including overwritten
+// ones) — a cheap liveness indicator.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Collector is an unbounded in-memory sink: EXPLAIN ANALYZE uses it to keep
+// every event of one run.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{}
+}
+
+// Write implements Sink.
+func (c *Collector) Write(events []Event) {
+	c.mu.Lock()
+	c.events = append(c.events, events...)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of everything collected so far.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindOp}) // must not panic
+	tr.Flush()
+	tr = New(nil)
+	if tr.Enabled() {
+		t.Fatal("sink-less tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindOp})
+}
+
+// TestDisabledEmitAllocatesNothing pins the zero-cost contract: with
+// tracing off, Emit on the operator hot path costs no allocations.
+func TestDisabledEmitAllocatesNothing(t *testing.T) {
+	var tr *Tracer
+	ev := Event{Kind: KindOp, Worker: 3, Exchange: 1, Tuples: 100, Dur: time.Millisecond}
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(ev) }); n != 0 {
+		t.Fatalf("nil tracer Emit allocates %v per op, want 0", n)
+	}
+	empty := New(nil)
+	if n := testing.AllocsPerRun(1000, func() { empty.Emit(ev) }); n != 0 {
+		t.Fatalf("sink-less tracer Emit allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentEmit exercises the sharded buffers from many goroutines;
+// run under -race it doubles as the tracer's data-race test.
+func TestConcurrentEmit(t *testing.T) {
+	ring := NewRing(1 << 12)
+	tr := New(ring)
+	const workers, perWorker = 16, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.Emit(Event{Kind: KindOp, Worker: w, Exchange: -1, Op: i, Tuples: int64(i)})
+			}
+		}(w)
+	}
+	// Concurrent readers must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			ring.Snapshot()
+			ring.Total()
+		}
+	}()
+	wg.Wait()
+	tr.Flush()
+	<-done
+	if got, want := ring.Total(), int64(workers*perWorker); got != want {
+		t.Fatalf("ring saw %d events, want %d", got, want)
+	}
+	if len(ring.Snapshot()) != 1<<12 {
+		t.Fatalf("ring snapshot has %d events, want full %d", len(ring.Snapshot()), 1<<12)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	ring := NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Write([]Event{{Op: i}})
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.Op != 6+i {
+			t.Fatalf("snapshot[%d].Op = %d, want %d (oldest first)", i, e.Op, 6+i)
+		}
+	}
+	if ring.Total() != 10 {
+		t.Fatalf("total = %d, want 10", ring.Total())
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	want := Event{
+		Time: time.Unix(1700000000, 42).UTC(), Kind: KindSend, Run: 7,
+		Worker: 3, Exchange: 2, Name: "R->h(y)", Tuples: 123, Bytes: 984, Dur: 5 * time.Millisecond,
+	}
+	tr.Emit(want)
+	tr.Emit(Event{Kind: KindRun, Worker: -1, Exchange: -1, Name: "end"})
+	tr.Flush()
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no JSONL output")
+	}
+	var got Event
+	if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if !sc.Scan() {
+		t.Fatal("second event missing")
+	}
+}
+
+func TestCollectorKeepsEverything(t *testing.T) {
+	col := NewCollector()
+	tr := New(col)
+	for i := 0; i < 200; i++ {
+		tr.Emit(Event{Kind: KindOp, Worker: i % 4, Op: i})
+	}
+	tr.Flush()
+	if got := len(col.Events()); got != 200 {
+		t.Fatalf("collector holds %d events, want 200", got)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	tr := New(MultiSink(a, nil, b))
+	tr.Emit(Event{Kind: KindPhase, Name: "sort"})
+	tr.Flush()
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("fan-out missed a sink: %d / %d", len(a.Events()), len(b.Events()))
+	}
+}

@@ -281,8 +281,8 @@ func (q *Query) Run(ctx context.Context) (*Result, error) {
 	return q.RunWith(ctx, Auto)
 }
 
-// RunWith evaluates the query with an explicit strategy.
-func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
+// planFor resolves Auto and plans the query under the chosen strategy.
+func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, error) {
 	db := q.db
 	db.mu.Lock()
 	catalog := stats.NewCatalog()
@@ -306,9 +306,19 @@ func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
 	}
 	cfg, err := s.planConfig()
 	if err != nil {
-		return nil, err
+		return nil, s, err
 	}
 	res, err := p.Plan(q.q, cfg)
+	if err != nil {
+		return nil, s, err
+	}
+	return res, s, nil
+}
+
+// RunWith evaluates the query with an explicit strategy.
+func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
+	db := q.db
+	res, s, err := q.planFor(s)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +344,7 @@ func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
 			Workers:         db.workers,
 		},
 	}
-	if cfg == planner.HCTJ || cfg == planner.HCHJ {
+	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
 	}
 	if len(res.Order) > 0 {
@@ -362,31 +372,7 @@ func (q *Query) Count(ctx context.Context) (int64, *Stats, error) {
 // CountWith is Count under an explicit strategy.
 func (q *Query) CountWith(ctx context.Context, s Strategy) (int64, *Stats, error) {
 	db := q.db
-	db.mu.Lock()
-	catalog := stats.NewCatalog()
-	relCopy := make(map[string]*rel.Relation, len(db.rels))
-	for name, r := range db.rels {
-		catalog.Add(r)
-		relCopy[name] = r
-	}
-	p := &planner.Planner{
-		Workers:   db.workers,
-		Catalog:   catalog,
-		Relations: relCopy,
-		MaxOrders: db.maxOrder,
-		Seed:      db.seed,
-		Mode:      ljoin.SeekBinary,
-	}
-	db.mu.Unlock()
-
-	if s == Auto {
-		s = chooseStrategy(q.q, catalog, db.workers)
-	}
-	cfg, err := s.planConfig()
-	if err != nil {
-		return 0, nil, err
-	}
-	res, err := p.Plan(q.q, cfg)
+	res, s, err := q.planFor(s)
 	if err != nil {
 		return 0, nil, err
 	}
