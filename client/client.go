@@ -1,0 +1,357 @@
+// Package client is the Go client for parajoind, parajoin's query service.
+// A Client holds one TCP connection and multiplexes any number of
+// concurrent requests over it: every request carries an ID, a background
+// read loop demultiplexes responses back to callers, so goroutines can
+// share one Client freely.
+//
+// Cancellation is first-class: when a caller's context expires mid-query,
+// the client sends a cancel frame referencing the in-flight request and the
+// server frees its admission slot promptly instead of computing an answer
+// nobody will read.
+//
+// Server-side failures come back as typed errors: errors.Is(err,
+// ErrOverloaded) means admission backpressure (retry later with backoff),
+// ErrDraining means the server is shutting down, and context.Canceled /
+// context.DeadlineExceeded mean exactly what they do locally.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parajoin/internal/wire"
+)
+
+// Typed serving errors, matched with errors.Is. They mirror the wire error
+// codes; see also context.Canceled and context.DeadlineExceeded, which the
+// client maps server-side cancellation and deadline expiry back to.
+var (
+	// ErrOverloaded: the server's admission queue was full or the queue
+	// wait timed out. The server is healthy but saturated — back off and
+	// retry.
+	ErrOverloaded = errors.New("parajoind: overloaded")
+	// ErrDraining: the server is shutting down and admits no new queries.
+	ErrDraining = errors.New("parajoind: draining")
+	// ErrOutOfMemory: the query exceeded its per-worker memory budget.
+	ErrOutOfMemory = errors.New("parajoind: query exceeded memory budget")
+	// ErrServerClosed: the server's engine cluster is closed.
+	ErrServerClosed = errors.New("parajoind: server closed")
+	// ErrConnClosed: this client's connection is gone (Close was called or
+	// the server went away); in-flight and future calls fail with it.
+	ErrConnClosed = errors.New("parajoind: connection closed")
+)
+
+// ServerError is a failure reported by the server. It unwraps to the typed
+// sentinel matching its code, so errors.Is(err, ErrOverloaded) etc. work.
+type ServerError struct {
+	Code string // a wire error code, e.g. "overloaded"
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("parajoind: %s: %s", e.Code, e.Msg) }
+
+func (e *ServerError) Unwrap() error {
+	switch e.Code {
+	case wire.CodeOverloaded:
+		return ErrOverloaded
+	case wire.CodeDraining:
+		return ErrDraining
+	case wire.CodeOOM:
+		return ErrOutOfMemory
+	case wire.CodeClosed:
+		return ErrServerClosed
+	case wire.CodeCanceled:
+		return context.Canceled
+	case wire.CodeDeadline:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Options tune Dial.
+type Options struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Retries is the number of extra connection attempts after the first
+	// fails (default 3), spaced by backoff doubling from RetryBackoff
+	// (default 100ms). Useful when the daemon is still starting.
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * time.Millisecond
+	}
+	return o
+}
+
+// QueryOptions tune one Run/Count/Explain call.
+type QueryOptions struct {
+	// Strategy picks the evaluation strategy ("" lets the server's planner
+	// choose).
+	Strategy string
+	// Timeout caps the query's server-side run time; 0 takes the server
+	// default. The server clamps it to its configured maximum either way.
+	Timeout time.Duration
+}
+
+// Stats reports one query's execution statistics.
+type Stats struct {
+	Strategy        string
+	Workers         int
+	Wall            time.Duration
+	CPU             time.Duration
+	TuplesShuffled  int64
+	MaxConsumerSkew float64
+	// QueueWait is the time the query spent in the server's admission queue.
+	QueueWait time.Duration
+}
+
+// Result is a query's rows plus its stats.
+type Result struct {
+	Columns []string
+	Rows    [][]int64
+	Stats   Stats
+}
+
+// Relation describes one catalog entry.
+type Relation struct {
+	Name    string
+	Columns []string
+	Rows    int
+}
+
+// Client is a connection to a parajoind server, safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Response
+	err     error // set once the connection dies
+
+	nextID atomic.Uint64
+}
+
+// Dial connects to a parajoind server, retrying with exponential backoff if
+// the server isn't accepting yet.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts = opts.withDefaults()
+	var (
+		conn net.Conn
+		err  error
+	)
+	backoff := opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		conn, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.Retries {
+			return nil, fmt.Errorf("parajoind: dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan *wire.Response)}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection. In-flight calls fail with ErrConnClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrConnClosed)
+	return err
+}
+
+// readLoop demultiplexes responses to waiting callers by request ID.
+func (c *Client) readLoop() {
+	for {
+		resp := new(wire.Response)
+		if err := wire.ReadFrame(c.conn, resp); err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the connection dead and unblocks every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *wire.Response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch) // receivers treat a closed channel as connection loss
+	}
+}
+
+// call sends req and waits for its response. If ctx expires first it sends
+// a cancel frame and still waits for the (now canceled) response, so the
+// server's slot accounting and the connection framing stay consistent.
+func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *wire.Response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	if err := c.send(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		return c.finish(resp, ok)
+	case <-ctx.Done():
+		// Ask the server to cancel, then wait for the original response —
+		// the server answers every request exactly once.
+		cancelID := c.nextID.Add(1)
+		_ = c.send(&wire.Request{ID: cancelID, Op: wire.OpCancel, Target: req.ID})
+		resp, ok := <-ch
+		if !ok {
+			return nil, context.Cause(ctx)
+		}
+		return c.finish(resp, ok)
+	}
+}
+
+func (c *Client) finish(resp *wire.Response, ok bool) (*wire.Response, error) {
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return nil, err
+	}
+	if resp.ErrCode != "" {
+		return nil, &ServerError{Code: resp.ErrCode, Msg: resp.Err}
+	}
+	return resp, nil
+}
+
+func (c *Client) send(req *wire.Request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return wire.WriteFrame(c.conn, req)
+}
+
+// Ping checks the server is alive.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Load registers a relation on the server.
+func (c *Client) Load(ctx context.Context, name string, columns []string, rows [][]int64) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpLoad, Name: name, Columns: columns, Rows: rows})
+	return err
+}
+
+// LoadCSV loads a relation from CSV text (header row names the columns).
+// Non-integer values are dictionary-encoded server-side, so string
+// constants written in rules match the loaded data.
+func (c *Client) LoadCSV(ctx context.Context, name, csv string) error {
+	_, err := c.call(ctx, &wire.Request{Op: wire.OpLoadCSV, Name: name, CSV: csv})
+	return err
+}
+
+// Relations lists the server's catalog.
+func (c *Client) Relations(ctx context.Context) ([]Relation, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpRelations})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Relation, len(resp.Relations))
+	for i, r := range resp.Relations {
+		out[i] = Relation{Name: r.Name, Columns: r.Columns, Rows: r.Rows}
+	}
+	return out, nil
+}
+
+func queryReq(op, rule string, opts QueryOptions) *wire.Request {
+	return &wire.Request{
+		Op:            op,
+		Rule:          rule,
+		Strategy:      opts.Strategy,
+		TimeoutMillis: int64(opts.Timeout / time.Millisecond),
+	}
+}
+
+func statsOf(w *wire.Stats) Stats {
+	if w == nil {
+		return Stats{}
+	}
+	return Stats{
+		Strategy:        w.Strategy,
+		Workers:         w.Workers,
+		Wall:            time.Duration(w.WallNanos),
+		CPU:             time.Duration(w.CPUNanos),
+		TuplesShuffled:  w.TuplesShuffled,
+		MaxConsumerSkew: w.MaxConsumerSkew,
+		QueueWait:       time.Duration(w.QueueWaitNanos),
+	}
+}
+
+// Run evaluates a datalog rule on the server and returns the result rows.
+func (c *Client) Run(ctx context.Context, rule string, opts QueryOptions) (*Result, error) {
+	resp, err := c.call(ctx, queryReq(wire.OpRun, rule, opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, Stats: statsOf(resp.Stats)}, nil
+}
+
+// Count evaluates a rule and returns only the answer count.
+func (c *Client) Count(ctx context.Context, rule string, opts QueryOptions) (int64, Stats, error) {
+	resp, err := c.call(ctx, queryReq(wire.OpCount, rule, opts))
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return resp.Count, statsOf(resp.Stats), nil
+}
+
+// Explain runs EXPLAIN ANALYZE on a rule and returns the rendered plan.
+func (c *Client) Explain(ctx context.Context, rule string, opts QueryOptions) (string, error) {
+	resp, err := c.call(ctx, queryReq(wire.OpExplain, rule, opts))
+	if err != nil {
+		return "", err
+	}
+	return resp.Explain, nil
+}

@@ -1,0 +1,214 @@
+// The -concurrency mode: instead of the paper's single-query experiments,
+// replay the workload's queries with k parallel clients against an
+// in-process parajoind server, measuring the serving layer — end-to-end
+// latency percentiles under contention plus the admission controller's
+// typed rejections.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"parajoin"
+	"parajoin/client"
+	"parajoin/internal/experiments"
+	"parajoin/internal/server"
+)
+
+// ConcurrencyQueryStats aggregates one query's replayed runs.
+type ConcurrencyQueryStats struct {
+	Query     string
+	Completed int
+	// Rejected counts typed overloaded/draining rejections from the
+	// admission controller; Failed counts everything else (timeouts, OOM).
+	Rejected int
+	Failed   int `json:",omitempty"`
+	// Latency percentiles over completed runs (client-observed, so queue
+	// wait is included).
+	P50, P95, Max time.Duration
+	// MeanQueueWait is the average time completed runs spent in the
+	// admission queue.
+	MeanQueueWait time.Duration
+}
+
+// ConcurrencyReport is the -json document for a -concurrency run.
+type ConcurrencyReport struct {
+	Workers       int
+	Clients       int
+	Rounds        int
+	MaxConcurrent int
+	MaxQueue      int
+	Wall          time.Duration
+	Queries       []ConcurrencyQueryStats
+	Total         ConcurrencyQueryStats
+}
+
+type replayOutcome struct {
+	query   string
+	latency time.Duration
+	wait    time.Duration
+	err     error
+}
+
+// runConcurrency loads the suite's relations into a fresh DB, serves it
+// with parajoind's serving layer on loopback, and hammers it with clients
+// parallel clients each replaying the workload rounds times.
+func runConcurrency(suite *experiments.Suite, workers, clients, rounds, maxConcurrent int, timeout time.Duration) (*ConcurrencyReport, error) {
+	w := suite.Workload()
+
+	db := parajoin.Open(workers, parajoin.WithSeed(suite.Seed))
+	defer db.Close()
+	for name, r := range w.Relations {
+		rows := make([][]int64, len(r.Tuples))
+		for i, t := range r.Tuples {
+			rows[i] = t
+		}
+		if err := db.Load(name, r.Schema, rows); err != nil {
+			return nil, fmt.Errorf("load %s: %w", name, err)
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConcurrent:  maxConcurrent,
+		DefaultTimeout: timeout,
+		Logf:           func(string, ...any) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// Each client replays every query `rounds` times, rules shipped as the
+	// parsed queries' canonical text (string constants travel as their
+	// dictionary codes, which match the loaded relations).
+	names := w.Names()
+	rules := make(map[string]string, len(names))
+	for _, n := range names {
+		rules[n] = w.Queries[n].String()
+	}
+
+	outcomes := make(chan replayOutcome, clients*rounds*len(names))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		c, err := client.Dial(ln.Addr().String(), client.Options{})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(ci int, c *client.Client) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for qi := range names {
+					// Stagger starting points so clients don't run in
+					// lockstep on the same query.
+					name := names[(qi+ci)%len(names)]
+					t0 := time.Now()
+					_, st, err := c.Count(context.Background(), rules[name], client.QueryOptions{})
+					outcomes <- replayOutcome{
+						query:   name,
+						latency: time.Since(t0),
+						wait:    st.QueueWait,
+						err:     err,
+					}
+				}
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(outcomes)
+
+	perQuery := map[string][]replayOutcome{}
+	for o := range outcomes {
+		perQuery[o.query] = append(perQuery[o.query], o)
+	}
+
+	report := &ConcurrencyReport{
+		Workers:       workers,
+		Clients:       clients,
+		Rounds:        rounds,
+		MaxConcurrent: maxConcurrent,
+		MaxQueue:      4 * maxConcurrent, // the server default used above
+		Wall:          wall,
+	}
+
+	var all []replayOutcome
+	for _, name := range names {
+		os := perQuery[name]
+		report.Queries = append(report.Queries, summarize(name, os))
+		all = append(all, os...)
+	}
+	report.Total = summarize("total", all)
+	return report, nil
+}
+
+func summarize(name string, os []replayOutcome) ConcurrencyQueryStats {
+	s := ConcurrencyQueryStats{Query: name}
+	var lats []time.Duration
+	var waitSum time.Duration
+	for _, o := range os {
+		switch {
+		case o.err == nil:
+			s.Completed++
+			lats = append(lats, o.latency)
+			waitSum += o.wait
+		case errors.Is(o.err, client.ErrOverloaded) || errors.Is(o.err, client.ErrDraining):
+			s.Rejected++
+		default:
+			s.Failed++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		s.P50 = lats[len(lats)/2]
+		s.P95 = lats[(len(lats)*95)/100]
+		s.Max = lats[len(lats)-1]
+		s.MeanQueueWait = waitSum / time.Duration(len(lats))
+	}
+	return s
+}
+
+func (r *ConcurrencyReport) Render(out *os.File) {
+	fmt.Fprintf(out, "Concurrent serving: %d clients × %d rounds, %d workers, %d query slots\n",
+		r.Clients, r.Rounds, r.Workers, r.MaxConcurrent)
+	fmt.Fprintf(out, "%-6s %9s %9s %7s %10s %10s %10s %12s\n",
+		"query", "completed", "rejected", "failed", "p50", "p95", "max", "queue-wait")
+	rows := append(append([]ConcurrencyQueryStats{}, r.Queries...), r.Total)
+	for _, q := range rows {
+		fmt.Fprintf(out, "%-6s %9d %9d %7d %10v %10v %10v %12v\n",
+			q.Query, q.Completed, q.Rejected, q.Failed,
+			q.P50.Round(time.Millisecond), q.P95.Round(time.Millisecond),
+			q.Max.Round(time.Millisecond), q.MeanQueueWait.Round(time.Millisecond))
+	}
+	fmt.Fprintf(out, "replay wall time: %v\n", r.Wall.Round(time.Millisecond))
+}
+
+func writeConcurrencyJSON(path string, r *ConcurrencyReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -136,6 +136,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		jsonPath  = flag.String("json", "", "write every run's full report as JSON to this file (- for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
+
+		concurrency   = flag.Int("concurrency", 0, "serve the workload and replay it with this many parallel clients (skips -exp)")
+		rounds        = flag.Int("rounds", 3, "with -concurrency: workload replays per client")
+		maxConcurrent = flag.Int("max-concurrent", 4, "with -concurrency: server query slots")
 	)
 	flag.Parse()
 
@@ -163,6 +167,20 @@ func main() {
 		fmt.Printf("debug server on http://%s/debug/\n", addr)
 	}
 	defer suite.Close()
+
+	if *concurrency > 0 {
+		report, err := runConcurrency(suite, *workers, *concurrency, *rounds, *maxConcurrent, *timeout)
+		if err != nil {
+			log.Fatalf("concurrency replay: %v", err)
+		}
+		report.Render(os.Stdout)
+		if *jsonPath != "" {
+			if err := writeConcurrencyJSON(*jsonPath, report); err != nil {
+				log.Fatalf("writing %s: %v", *jsonPath, err)
+			}
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, n := range strings.Split(*expList, ",") {

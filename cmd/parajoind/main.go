@@ -1,0 +1,165 @@
+// Command parajoind serves a parajoin engine cluster to many clients over
+// TCP. One shared cluster evaluates every client's queries; the admission
+// controller bounds how many run at once, queues the overflow FIFO with
+// depth and wait limits, and rejects the rest with a typed "overloaded"
+// error so clients can back off instead of piling on. Queries carry
+// per-query deadlines and memory budgets, and clients can cancel mid-run.
+//
+//	$ parajoind -workers 8 -addr :4160 -load E=edges.csv
+//	parajoind: serving on [::]:4160 (8 workers, 4 concurrent queries)
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight queries finish and their
+// responses flush, new ones are refused, then it exits. A second signal
+// aborts the drain.
+//
+// With -debug-addr it also serves pprof profiles, expvar counters
+// (including the parajoin_server admission stats), and recent trace events
+// over HTTP.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parajoin"
+	"parajoin/internal/debug"
+	"parajoin/internal/server"
+	"parajoin/internal/trace"
+)
+
+// loadFlags collects repeated -load name=file.csv arguments.
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, ",") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("parajoind: ")
+
+	var (
+		addr          = flag.String("addr", "127.0.0.1:4160", "listen address")
+		workers       = flag.Int("workers", 8, "engine cluster size")
+		maxConcurrent = flag.Int("max-concurrent", 4, "queries evaluated simultaneously")
+		maxQueue      = flag.Int("max-queue", 0, "queued queries before rejecting (default 4×max-concurrent)")
+		maxQueueWait  = flag.Duration("max-queue-wait", 10*time.Second, "longest a query may wait for a slot")
+		defTimeout    = flag.Duration("default-timeout", 60*time.Second, "per-query deadline when the client sets none")
+		maxTimeout    = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (default 10×default-timeout)")
+		memLimit      = flag.Int64("mem-limit", 0, "cluster-wide per-worker tuple budget (0 = unlimited)")
+		perQueryMem   = flag.Int64("per-query-mem", 0, "per-query per-worker tuple budget (0 = mem-limit/max-concurrent)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		seed          = flag.Int64("seed", 1, "planner sampling seed")
+		debugAddr     = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
+		traceFile     = flag.String("trace", "", "append query + engine trace events to this JSONL file")
+	)
+	var loads loadFlags
+	flag.Var(&loads, "load", "preload a relation, name=file.csv (repeatable)")
+	flag.Parse()
+
+	// Tracing: a ring for the debug endpoint, a JSONL file for durability,
+	// either or both.
+	var sinks []trace.Sink
+	var ring *trace.Ring
+	if *debugAddr != "" {
+		ring = trace.NewRing(4096)
+		sinks = append(sinks, ring)
+	}
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("trace file: %v", err)
+		}
+		defer f.Close()
+		sinks = append(sinks, trace.NewJSONLSink(f))
+	}
+	var tracer *trace.Tracer
+	if len(sinks) > 0 {
+		tracer = trace.New(trace.MultiSink(sinks...))
+	}
+
+	opts := []parajoin.Option{parajoin.WithSeed(*seed)}
+	if *memLimit > 0 {
+		opts = append(opts, parajoin.WithMemoryLimit(*memLimit))
+	}
+	if tracer != nil {
+		opts = append(opts, parajoin.WithTracer(tracer))
+	}
+	db := parajoin.Open(*workers, opts...)
+	defer db.Close()
+
+	for _, spec := range loads {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("-load %q: want name=file.csv", spec)
+		}
+		start := time.Now()
+		if err := db.LoadCSV(name, file); err != nil {
+			log.Fatalf("load %s: %v", name, err)
+		}
+		log.Printf("loaded %s from %s: %d rows in %v",
+			name, file, db.Cardinality(name), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *debugAddr != "" {
+		got, err := debug.Serve(*debugAddr, ring)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Printf("debug endpoints on http://%s/debug/", got)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		MaxQueueWait:      *maxQueueWait,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		PerQueryMemTuples: *perQueryMem,
+		Tracer:            tracer,
+	})
+
+	// Graceful drain on SIGINT/SIGTERM; a second signal aborts it.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+
+	// ListenAndServe binds asynchronously; poll briefly so the startup log
+	// line carries the resolved address (relevant with ":0").
+	for i := 0; i < 100 && srv.Addr() == ""; i++ {
+		select {
+		case err := <-errc:
+			log.Fatalf("listen %s: %v", *addr, err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	log.Printf("serving on %s (%d workers, %d concurrent queries)",
+		srv.Addr(), *workers, *maxConcurrent)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigs:
+		log.Printf("%s: draining (ctrl-c again to abort)", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigs
+		log.Print("second signal: aborting drain")
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "parajoind: bye")
+}

@@ -17,7 +17,14 @@
 //	\count <rule>             run a rule, printing only the answer count
 //	\explain <rule>           run a rule and print its plan with actuals
 //	\limit <n>                rows printed per query (default 10)
+//	\connect <host:port>      switch to a parajoind server (\local to return)
 //	\quit                     exit
+//
+// In remote mode (\connect, or the -connect flag) every command runs
+// against a parajoind server instead of the in-process engine: \load ships
+// the CSV text, \gen generates locally and uploads, and queries share the
+// server's cluster with every other client — subject to its admission
+// control, so an `overloaded` error means back off and retry.
 //
 // With -debug-addr the shell serves pprof profiles, expvar counters, and
 // recent trace events over HTTP while queries run.
@@ -36,11 +43,14 @@ import (
 	"time"
 
 	"parajoin"
+	"parajoin/client"
 	"parajoin/internal/debug"
 )
 
 type shell struct {
 	db       *parajoin.DB
+	remote   *client.Client // non-nil in \connect mode
+	addr     string         // remote address when connected
 	strategy parajoin.Strategy
 	limit    int
 	out      io.Writer
@@ -50,6 +60,7 @@ func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 8, "cluster size")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
+	connect := flag.String("connect", "", "start connected to a parajoind server (host:port)")
 	flag.Parse()
 
 	var opts []parajoin.Option
@@ -71,8 +82,36 @@ func main() {
 	}
 	defer sh.db.Close()
 
-	fmt.Fprintf(sh.out, "parajoin shell — %d workers. \\quit to exit, \\gen E 20000 1200 to get data.\n", *workers)
+	if *connect != "" {
+		if err := sh.dial(*connect); err != nil {
+			log.Fatalf("connect %s: %v", *connect, err)
+		}
+	}
+	if sh.remote != nil {
+		fmt.Fprintf(sh.out, "parajoin shell — connected to parajoind at %s. \\local for the in-process engine.\n", sh.addr)
+	} else {
+		fmt.Fprintf(sh.out, "parajoin shell — %d workers. \\quit to exit, \\gen E 20000 1200 to get data.\n", *workers)
+	}
 	sh.repl(os.Stdin)
+	if sh.remote != nil {
+		sh.remote.Close()
+	}
+}
+
+func (sh *shell) dial(addr string) error {
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		c.Close()
+		return err
+	}
+	if sh.remote != nil {
+		sh.remote.Close()
+	}
+	sh.remote, sh.addr = c, addr
+	return nil
 }
 
 func (sh *shell) repl(in io.Reader) {
@@ -107,14 +146,47 @@ func (sh *shell) eval(line string) error {
 func (sh *shell) command(line string) error {
 	fields := strings.Fields(line)
 	switch fields[0] {
+	case `\connect`:
+		if len(fields) == 1 {
+			if sh.remote != nil {
+				fmt.Fprintf(sh.out, "connected to %s\n", sh.addr)
+			} else {
+				fmt.Fprintln(sh.out, "local mode (in-process engine)")
+			}
+			return nil
+		}
+		if err := sh.dial(fields[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "connected to parajoind at %s\n", sh.addr)
+		return nil
+
+	case `\local`:
+		if sh.remote != nil {
+			sh.remote.Close()
+			sh.remote, sh.addr = nil, ""
+		}
+		fmt.Fprintln(sh.out, "local mode (in-process engine)")
+		return nil
+
 	case `\load`:
 		if len(fields) != 3 {
 			return fmt.Errorf(`usage: \load <name> <file.csv>`)
 		}
-		if err := sh.db.LoadCSV(fields[1], fields[2]); err != nil {
+		if sh.remote != nil {
+			// Ship the CSV text; the server dictionary-encodes it so string
+			// constants in rules still match.
+			text, err := os.ReadFile(fields[2])
+			if err != nil {
+				return err
+			}
+			if err := sh.remote.LoadCSV(context.Background(), fields[1], string(text)); err != nil {
+				return err
+			}
+		} else if err := sh.db.LoadCSV(fields[1], fields[2]); err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "loaded %s: %d rows\n", fields[1], sh.db.Cardinality(fields[1]))
+		fmt.Fprintf(sh.out, "loaded %s: %d rows\n", fields[1], sh.cardinality(fields[1]))
 		return nil
 
 	case `\gen`:
@@ -126,14 +198,34 @@ func (sh *shell) command(line string) error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("edges and nodes must be integers")
 		}
-		if err := sh.db.LoadEdges(fields[1], parajoin.SyntheticGraph(edges, nodes, 42)); err != nil {
+		graph := parajoin.SyntheticGraph(edges, nodes, 42)
+		if sh.remote != nil {
+			// Generate locally, upload to the server.
+			rows := make([][]int64, len(graph))
+			for i, e := range graph {
+				rows[i] = []int64{e[0], e[1]}
+			}
+			if err := sh.remote.Load(context.Background(), fields[1], []string{"src", "dst"}, rows); err != nil {
+				return err
+			}
+		} else if err := sh.db.LoadEdges(fields[1], graph); err != nil {
 			return err
 		}
 		fmt.Fprintf(sh.out, "generated %s: %d edges over %d nodes\n",
-			fields[1], sh.db.Cardinality(fields[1]), nodes)
+			fields[1], sh.cardinality(fields[1]), nodes)
 		return nil
 
 	case `\rels`:
+		if sh.remote != nil {
+			rels, err := sh.remote.Relations(context.Background())
+			if err != nil {
+				return err
+			}
+			for _, r := range rels {
+				fmt.Fprintf(sh.out, "%-16s %d rows\n", r.Name, r.Rows)
+			}
+			return nil
+		}
 		for _, name := range sh.db.Relations() {
 			fmt.Fprintf(sh.out, "%-16s %d rows\n", name, sh.db.Cardinality(name))
 		}
@@ -178,6 +270,14 @@ func (sh *shell) command(line string) error {
 		if rule == "" {
 			return fmt.Errorf(`usage: \explain <rule>`)
 		}
+		if sh.remote != nil {
+			out, err := sh.remote.Explain(context.Background(), rule, sh.queryOptions())
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(sh.out, out)
+			return nil
+		}
 		q, err := sh.db.Query(rule)
 		if err != nil {
 			return err
@@ -192,7 +292,35 @@ func (sh *shell) command(line string) error {
 	return fmt.Errorf("unknown command %s", fields[0])
 }
 
+func (sh *shell) queryOptions() client.QueryOptions {
+	strat := string(sh.strategy)
+	if sh.strategy == parajoin.Auto {
+		strat = "" // let the server's planner choose
+	}
+	return client.QueryOptions{Strategy: strat}
+}
+
+// cardinality reports a relation's row count in either mode.
+func (sh *shell) cardinality(name string) int {
+	if sh.remote == nil {
+		return sh.db.Cardinality(name)
+	}
+	rels, err := sh.remote.Relations(context.Background())
+	if err != nil {
+		return 0
+	}
+	for _, r := range rels {
+		if r.Name == name {
+			return r.Rows
+		}
+	}
+	return 0
+}
+
 func (sh *shell) runRule(rule string, countOnly bool) error {
+	if sh.remote != nil {
+		return sh.runRemote(rule, countOnly)
+	}
 	q, err := sh.db.Query(rule)
 	if err != nil {
 		return err
@@ -220,12 +348,42 @@ func (sh *shell) runRule(rule string, countOnly bool) error {
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.TuplesShuffled,
 		st.MaxConsumerSkew, st.Strategy, extra)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
-	for i, row := range res.Rows {
+	sh.printRows(res.Rows)
+	return nil
+}
+
+func (sh *shell) printRows(rows [][]int64) {
+	for i, row := range rows {
 		if i >= sh.limit {
-			fmt.Fprintf(sh.out, "... %d more rows (\\limit to adjust)\n", len(res.Rows)-i)
+			fmt.Fprintf(sh.out, "... %d more rows (\\limit to adjust)\n", len(rows)-i)
 			break
 		}
 		fmt.Fprintln(sh.out, row)
 	}
+}
+
+// runRemote evaluates a rule on the connected parajoind server.
+func (sh *shell) runRemote(rule string, countOnly bool) error {
+	ctx := context.Background()
+	if countOnly {
+		n, st, err := sh.remote.Count(ctx, rule, sh.queryOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d [%s]\n",
+			n, st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
+			st.TuplesShuffled, st.Strategy)
+		return nil
+	}
+	res, err := sh.remote.Run(ctx, rule, sh.queryOptions())
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f [%s]\n",
+		len(res.Rows), st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
+		st.TuplesShuffled, st.MaxConsumerSkew, st.Strategy)
+	fmt.Fprintf(sh.out, "%v\n", res.Columns)
+	sh.printRows(res.Rows)
 	return nil
 }

@@ -1,16 +1,29 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"parajoin/internal/rel"
 	"parajoin/internal/trace"
 )
 
+// ErrClosed is returned by runs started (or still in flight) after the
+// cluster was closed.
+var ErrClosed = errors.New("engine: cluster is closed")
+
 // Cluster is a shared-nothing cluster of workers. Each worker owns a set of
 // named relation fragments (its private storage); plans run identically on
 // every worker (SPMD) and exchange tuples through the Transport.
+//
+// A Cluster is safe for concurrent use: Load and Run/RunRounds calls may
+// overlap arbitrarily. Each run resolves base relations at the moment its
+// scans open (relations are immutable once loaded, so a concurrent Load
+// swaps whole fragments, never mutates one), and multi-round plans keep
+// their intermediate results in run-private storage, so concurrent runs
+// never observe each other's temporaries.
 type Cluster struct {
 	// BatchSize is the tuple-batch granularity of the operator pipeline and
 	// the exchanges.
@@ -18,7 +31,8 @@ type Cluster struct {
 	// MaxLocalTuples caps the tuples a single worker may materialize during
 	// a run (hash tables, Tributary inputs/outputs, dedup state). Zero means
 	// unlimited. When exceeded the run fails with ErrOutOfMemory — the
-	// paper's "FAIL" entries for RS_TJ on Q4/Q5.
+	// paper's "FAIL" entries for RS_TJ on Q4/Q5. RunRoundsOpts can tighten
+	// (or lift) the budget per run.
 	MaxLocalTuples int64
 	// Tracer receives span events for every run on this cluster. Nil (the
 	// default) disables tracing at zero cost: operators are not wrapped and
@@ -28,10 +42,19 @@ type Cluster struct {
 	workers   int
 	hosted    []int
 	transport Transport
-	storage   []map[string]*rel.Relation
+	// mu guards storage: Load mutates the maps while concurrent runs read
+	// them through Fragment.
+	mu      sync.RWMutex
+	storage []map[string]*rel.Relation
 	// epoch numbers runs so each gets a private exchange-id namespace on
 	// the shared transport.
 	epoch atomic.Int64
+	// closed flips once; closeCh wakes in-flight runs so they fail with
+	// ErrClosed instead of hanging on a closed transport.
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	closeErr  error
 }
 
 // NewCluster creates an n-worker cluster over the in-memory transport.
@@ -55,6 +78,7 @@ func NewClusterWithTransport(n int, t Transport) *Cluster {
 		hosted:    hosted,
 		transport: t,
 		storage:   make([]map[string]*rel.Relation, n),
+		closeCh:   make(chan struct{}),
 	}
 	for i := range c.storage {
 		c.storage[i] = make(map[string]*rel.Relation)
@@ -88,7 +112,8 @@ func (c *Cluster) Transport() Transport { return c.transport }
 
 // Load round-robin-partitions r across the workers under r's name — the
 // initial placement used for every base relation in the paper's
-// experiments.
+// experiments. Safe to call while queries run: a run that already opened
+// its scan of the same name keeps the old fragments.
 func (c *Cluster) Load(r *rel.Relation) {
 	c.LoadFragments(r.Name, r.RoundRobinPartition(c.workers))
 }
@@ -99,6 +124,8 @@ func (c *Cluster) LoadFragments(name string, frags []*rel.Relation) {
 	if len(frags) != c.workers {
 		panic(fmt.Sprintf("engine: %d fragments for %d workers", len(frags), c.workers))
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for w, f := range frags {
 		c.storage[w][name] = f
 	}
@@ -106,6 +133,8 @@ func (c *Cluster) LoadFragments(name string, frags []*rel.Relation) {
 
 // LoadReplicated stores a full copy of r on every worker.
 func (c *Cluster) LoadReplicated(r *rel.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for w := 0; w < c.workers; w++ {
 		c.storage[w][r.Name] = r
 	}
@@ -113,12 +142,16 @@ func (c *Cluster) LoadReplicated(r *rel.Relation) {
 
 // Fragment returns worker w's fragment of the named relation, or nil.
 func (c *Cluster) Fragment(w int, name string) *rel.Relation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.storage[w][name]
 }
 
 // Stored reassembles the full relation from its fragments, or nil when the
 // name is unknown.
 func (c *Cluster) Stored(name string) *rel.Relation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var frags []*rel.Relation
 	for w := 0; w < c.workers; w++ {
 		f := c.storage[w][name]
@@ -132,12 +165,24 @@ func (c *Cluster) Stored(name string) *rel.Relation {
 
 // Drop removes the named relation from every worker.
 func (c *Cluster) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for w := 0; w < c.workers; w++ {
 		delete(c.storage[w], name)
 	}
 }
 
-// Close releases the transport.
+// Close releases the transport. It is idempotent, and safe while runs are
+// in flight: those runs are canceled and fail with ErrClosed, and any
+// subsequent run returns ErrClosed immediately.
 func (c *Cluster) Close() error {
-	return c.transport.Close()
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		close(c.closeCh)
+		c.closeErr = c.transport.Close()
+	})
+	return c.closeErr
 }
+
+// Closed reports whether Close has been called.
+func (c *Cluster) Closed() bool { return c.closed.Load() }

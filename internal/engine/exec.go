@@ -27,9 +27,22 @@ type exec struct {
 	// consecutive runs on one cluster never touch each other's queues.
 	epoch int64
 
+	// temps is the run's private relation namespace (StoreAs results of
+	// earlier rounds); scans resolve here before the shared cluster storage.
+	temps map[string][]*rel.Relation
+
 	memLimit int64
 	memUsed  []atomic.Int64
 	memBlown []atomic.Bool
+}
+
+// fragment resolves a table name for one worker: run-private temporaries
+// first, then the cluster's shared storage.
+func (e *exec) fragment(w int, table string) *rel.Relation {
+	if frags, ok := e.temps[table]; ok {
+		return frags[w]
+	}
+	return e.cluster.Fragment(w, table)
 }
 
 // wireID maps a plan-local exchange id to the transport-level id for this
@@ -78,7 +91,7 @@ func (e *exec) compile(n Node, t *task) (operator, error) {
 func (e *exec) compileNode(n Node, t *task) (operator, error) {
 	switch v := n.(type) {
 	case Scan:
-		frag := e.cluster.Fragment(t.worker, v.Table)
+		frag := e.fragment(t.worker, v.Table)
 		if frag == nil {
 			return nil, fmt.Errorf("engine: worker %d has no fragment of %q", t.worker, v.Table)
 		}
@@ -384,27 +397,42 @@ func (c *Cluster) Run(ctx context.Context, plan *Plan) (*rel.Relation, *Report, 
 
 // RunFragments is Run, keeping the per-worker result fragments separate.
 func (c *Cluster) RunFragments(ctx context.Context, plan *Plan) ([]*rel.Relation, *Report, error) {
-	return c.runFragments(ctx, plan, c.Tracer)
+	return c.runFragments(ctx, plan, RunOpts{}, nil)
 }
 
-func (c *Cluster) runFragments(ctx context.Context, plan *Plan, tracer *trace.Tracer) ([]*rel.Relation, *Report, error) {
+func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, temps map[string][]*rel.Relation) ([]*rel.Relation, *Report, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
+	if c.closed.Load() {
+		return nil, nil, ErrClosed
+	}
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	// A concurrent Close cancels this run with cause ErrClosed instead of
+	// letting it hang on (or race with) the closing transport.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-c.closeCh:
+			cancel(ErrClosed)
+		case <-watchDone:
+		}
+	}()
 
 	n := c.Workers()
 	e := &exec{
 		cluster:   c,
 		transport: c.transport,
 		metrics:   NewMetrics(n),
-		tracer:    tracer,
+		tracer:    c.runTracer(opts),
 		ctx:       runCtx,
 		cancel:    cancel,
 		batchSize: c.BatchSize,
 		epoch:     c.epoch.Add(1),
-		memLimit:  c.MaxLocalTuples,
+		temps:     temps,
+		memLimit:  c.runMemLimit(opts),
 		memUsed:   make([]atomic.Int64, n),
 		memBlown:  make([]atomic.Bool, n),
 	}
@@ -462,6 +490,12 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, tracer *trace.Tr
 	}
 
 	wg.Wait()
+	// All local producers and consumers are done: free this epoch's queue
+	// state on the transport so a long-running server doesn't accumulate
+	// one queue set per query forever.
+	if rel, ok := c.transport.(EpochReleaser); ok {
+		rel.ReleaseEpoch(e.epoch)
+	}
 	wall := time.Since(start)
 	report := e.metrics.report(wall)
 	report.CPUTime = processCPU() - cpu0
@@ -485,6 +519,14 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, tracer *trace.Tr
 	errMu.Lock()
 	err := firstErr
 	errMu.Unlock()
+	if err == nil {
+		// A cancellation that came from Close (cause ErrClosed) is filtered
+		// out of firstErr as context.Canceled noise; recover the real cause
+		// so a closed-out run never passes for a successful one.
+		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, context.Canceled) {
+			err = cause
+		}
+	}
 	if err != nil {
 		return nil, report, err
 	}

@@ -51,7 +51,7 @@ type scanOp struct {
 func (o *scanOp) schema() rel.Schema { return o.sch }
 
 func (o *scanOp) open() error {
-	frag := o.t.ex.cluster.Fragment(o.t.worker, o.table)
+	frag := o.t.ex.fragment(o.t.worker, o.table)
 	if frag == nil {
 		return fmt.Errorf("engine: worker %d has no fragment of %q", o.t.worker, o.table)
 	}
@@ -410,9 +410,16 @@ func (o *tributaryOp) open() error {
 	o.emitPhase("sort", sortDur, inputTuples)
 
 	joinStart := time.Now()
+	var produced int
 	runErr := p.Run(func(t rel.Tuple) bool {
 		if o.t.ex.alloc(o.t.worker, 1) != nil {
 			return false // stop early; memErr below reports the budget breach
+		}
+		// This enumeration can produce a worst-case-size result with no
+		// other cancellation point, so poll the run context periodically —
+		// deadlines, client cancels, and Close must not wait for it.
+		if produced++; produced&0x1fff == 0 && o.t.ex.ctx.Err() != nil {
+			return false
 		}
 		o.results = append(o.results, t.Clone())
 		return true
@@ -423,6 +430,9 @@ func (o *tributaryOp) open() error {
 	o.emitPhase("join", joinDur, int64(len(o.results)))
 	if runErr != nil {
 		return runErr
+	}
+	if err := o.t.ex.ctx.Err(); err != nil {
+		return err
 	}
 	return o.t.ex.memErr(o.t.worker)
 }

@@ -11,42 +11,76 @@ import (
 
 // Round is one communication round of a multi-round plan (the Yannakakis
 // semijoin reduction runs many). A non-empty StoreAs materializes the
-// round's per-worker result fragments into worker storage under that name
-// for later rounds to Scan; the final round leaves StoreAs empty and its
-// result is the query answer.
+// round's per-worker result fragments for later rounds to Scan; the final
+// round leaves StoreAs empty and its result is the query answer.
+//
+// StoreAs results live in run-private storage, not the cluster's shared
+// maps: concurrent runs of the same plan never see each other's
+// intermediates, and nothing needs to be dropped afterwards.
 type Round struct {
 	Name    string
 	Plan    *Plan
 	StoreAs string
 }
 
+// RunOpts tunes one execution. The zero value inherits the cluster's
+// defaults.
+type RunOpts struct {
+	// Tracer receives this run's span events; nil falls back to the
+	// cluster's Tracer.
+	Tracer *trace.Tracer
+	// MaxLocalTuples overrides the cluster's per-worker materialization
+	// budget for this run: 0 inherits the cluster's, a negative value lifts
+	// the cap entirely. The serving layer uses it to carve per-query budgets
+	// out of the cluster-wide limit.
+	MaxLocalTuples int64
+}
+
+func (c *Cluster) runTracer(o RunOpts) *trace.Tracer {
+	if o.Tracer != nil {
+		return o.Tracer
+	}
+	return c.Tracer
+}
+
+func (c *Cluster) runMemLimit(o RunOpts) int64 {
+	switch {
+	case o.MaxLocalTuples > 0:
+		return o.MaxLocalTuples
+	case o.MaxLocalTuples < 0:
+		return 0
+	}
+	return c.MaxLocalTuples
+}
+
 // RunRounds executes rounds in order, materializing intermediate results
-// and merging metrics. Temporary relations created by StoreAs are dropped
-// afterwards. The last round must have StoreAs == "".
+// and merging metrics. The last round must have StoreAs == "".
 func (c *Cluster) RunRounds(ctx context.Context, rounds []Round) (*rel.Relation, *Report, error) {
-	return c.RunRoundsTraced(ctx, rounds, c.Tracer)
+	return c.RunRoundsOpts(ctx, rounds, RunOpts{})
 }
 
 // RunRoundsTraced is RunRounds with an explicit tracer for this execution,
 // overriding the cluster's default — EXPLAIN ANALYZE uses it to capture one
 // run's events without re-configuring the cluster.
 func (c *Cluster) RunRoundsTraced(ctx context.Context, rounds []Round, tracer *trace.Tracer) (*rel.Relation, *Report, error) {
+	return c.RunRoundsOpts(ctx, rounds, RunOpts{Tracer: tracer})
+}
+
+// RunRoundsOpts is RunRounds with per-run options.
+func (c *Cluster) RunRoundsOpts(ctx context.Context, rounds []Round, opts RunOpts) (*rel.Relation, *Report, error) {
 	if len(rounds) == 0 {
 		return nil, nil, fmt.Errorf("engine: no rounds")
 	}
 	if rounds[len(rounds)-1].StoreAs != "" {
 		return nil, nil, fmt.Errorf("engine: final round must not store its result")
 	}
-	var temps []string
-	defer func() {
-		for _, name := range temps {
-			c.Drop(name)
-		}
-	}()
+	// temps is this run's private relation namespace: scans resolve here
+	// before the shared cluster storage.
+	temps := make(map[string][]*rel.Relation)
 
 	var combined *Report
 	for i, round := range rounds {
-		frags, report, err := c.runFragments(ctx, round.Plan, tracer)
+		frags, report, err := c.runFragments(ctx, round.Plan, opts, temps)
 		combined = mergeReports(combined, report)
 		if err != nil {
 			return nil, combined, fmt.Errorf("engine: round %d (%s): %w", i, round.Name, err)
@@ -57,8 +91,7 @@ func (c *Cluster) RunRoundsTraced(ctx context.Context, rounds []Round, tracer *t
 					f.Name = round.StoreAs
 				}
 			}
-			c.LoadFragments(round.StoreAs, frags)
-			temps = append(temps, round.StoreAs)
+			temps[round.StoreAs] = frags
 			continue
 		}
 		return rel.Concat("result", frags), combined, nil

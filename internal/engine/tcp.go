@@ -260,6 +260,28 @@ func (t *TCPTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 	return b, ok, nil
 }
 
+// ReleaseEpoch implements EpochReleaser: it frees the inbox queues of a
+// finished run. A straggler frame for a released epoch recreates a (tiny)
+// queue that nothing reads — harmless garbage, bounded by in-flight frames.
+func (t *TCPTransport) ReleaseEpoch(epoch int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, q := range t.inbox {
+		if wireEpoch(k.exchange) != epoch {
+			continue
+		}
+		q.mu.Lock()
+		if q.ctr != nil {
+			for range q.batches {
+				q.ctr.dequeued()
+			}
+		}
+		q.batches = nil
+		q.mu.Unlock()
+		delete(t.inbox, k)
+	}
+}
+
 // Close implements Transport.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()

@@ -56,6 +56,20 @@ type TransportMeter interface {
 	TransportStats() TransportStats
 }
 
+// EpochReleaser is implemented by transports that can free the queue state
+// of a finished run (engine epoch). The engine calls it after every run so
+// a long-running process serving many queries doesn't leak one queue set
+// per query. Both built-in transports implement it.
+type EpochReleaser interface {
+	ReleaseEpoch(epoch int64)
+}
+
+// wireEpoch recovers the run epoch from a transport-level exchange id (see
+// exec.wireID: epoch<<20 | planExchangeID).
+func wireEpoch(exchangeID int) int64 {
+	return int64(exchangeID >> 20)
+}
+
 // transportCounters is the shared TransportMeter implementation.
 type transportCounters struct {
 	batchesSent   atomic.Int64
@@ -252,6 +266,29 @@ func (t *MemTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 		t.countReceived(1, batchWireBytes(b))
 	}
 	return b, ok, nil
+}
+
+// ReleaseEpoch implements EpochReleaser: it frees the queues of a finished
+// run. Any batches still enqueued are dropped from the depth gauge.
+func (t *MemTransport) ReleaseEpoch(epoch int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, qs := range t.queues {
+		if wireEpoch(id) != epoch {
+			continue
+		}
+		for _, q := range qs {
+			q.mu.Lock()
+			if q.ctr != nil {
+				for range q.batches {
+					q.ctr.dequeued()
+				}
+			}
+			q.batches = nil
+			q.mu.Unlock()
+		}
+		delete(t.queues, id)
+	}
 }
 
 // Close implements Transport.

@@ -1,0 +1,564 @@
+// Package server is parajoind's serving layer: a long-running TCP service
+// hosting one shared parajoin.DB and evaluating many clients' queries
+// concurrently and safely. Admission control (see admission.go) bounds
+// concurrency and queue depth so overload produces fast typed rejections
+// instead of collapse; per-query deadlines, client-driven cancellation, and
+// per-query memory budgets carved from the cluster-wide limit bound each
+// query's cost; SIGTERM-style drain (Shutdown) stops admitting, finishes
+// in-flight queries, then closes.
+//
+// The wire protocol is defined in internal/wire; the Go client lives in
+// the top-level client package.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parajoin"
+	"parajoin/internal/trace"
+	"parajoin/internal/wire"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// MaxConcurrent is the number of queries evaluated simultaneously
+	// (default 4). The shared cluster's workers are multiplexed across
+	// them, so this bounds CPU oversubscription.
+	MaxConcurrent int
+	// MaxQueue is the number of queries allowed to wait for a slot before
+	// new arrivals are rejected with the overloaded error (default
+	// 4×MaxConcurrent).
+	MaxQueue int
+	// MaxQueueWait is the longest a query may sit in the queue before it is
+	// rejected with the overloaded error (default 10s).
+	MaxQueueWait time.Duration
+	// DefaultTimeout caps a query's run time when the client doesn't ask
+	// for one (default 60s); MaxTimeout clamps what clients may ask for
+	// (default 10×DefaultTimeout).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// PerQueryMemTuples is each query's per-worker materialization budget.
+	// 0 carves the DB-wide limit evenly across MaxConcurrent slots (when
+	// the DB has a limit); negative lifts the cap.
+	PerQueryMemTuples int64
+	// Tracer receives a KindQuery span per query (admission outcome,
+	// latency, rows). Nil disables serving-layer tracing.
+	Tracer *trace.Tracer
+	// Logf logs serving events (connects, disconnects, drain); nil uses
+	// log.Printf. Use a no-op func to silence.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 10 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * c.DefaultTimeout
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server hosts one shared DB behind the admission controller.
+type Server struct {
+	db  *parajoin.DB
+	cfg Config
+
+	gate     *gate
+	budget   int64 // per-query MaxLocalTuples (0 = inherit DB)
+	querySeq atomic.Int64
+
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	sessWG   sync.WaitGroup
+	shutdown bool
+
+	loads atomic.Int64
+}
+
+// New creates a server over db. The caller keeps ownership of db (Shutdown
+// does not close it), so an embedding process can pre-load relations or
+// keep using the DB directly.
+func New(db *parajoin.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:       db,
+		cfg:      cfg,
+		gate:     newGate(cfg.MaxConcurrent, cfg.MaxQueue, cfg.MaxQueueWait),
+		sessions: make(map[*session]struct{}),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	s.budget = cfg.PerQueryMemTuples
+	if s.budget == 0 {
+		if m := db.MemoryLimit(); m > 0 {
+			s.budget = max64(1, m/int64(cfg.MaxConcurrent))
+		}
+	}
+	registerServer(s)
+	return s
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ListenAndServe binds addr and serves until Shutdown (returning nil) or a
+// listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or a listener error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return nil
+			}
+			return err
+		}
+		sess := s.newSession(conn)
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.sessWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.sessWG.Done()
+			sess.serve()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting connections, stop admitting
+// queries (new ones get the draining error), let queued and in-flight
+// queries finish and their responses flush, then close every connection.
+// ctx bounds the wait; on expiry remaining queries are cut off hard.
+// Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.shutdown
+	s.shutdown = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if !already {
+		s.cfg.Logf("draining (%d in flight, %d queued)",
+			s.gate.stats().InFlight, s.gate.stats().Queued)
+	}
+
+	err := s.gate.drain(ctx)
+	// Drained (or out of patience): cancel anything still running and close
+	// every connection; read loops exit and sessions wind down.
+	s.stop()
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	unregisterServer(s)
+	if !already {
+		s.cfg.Logf("drained")
+	}
+	return err
+}
+
+// Stats snapshots the serving counters.
+type Stats struct {
+	Gate     GateStats
+	Sessions int
+	Loads    int64
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return Stats{Gate: s.gate.stats(), Sessions: n, Loads: s.loads.Load()}
+}
+
+// ---------------------------------------------------------------- session
+
+// session is one client connection: a frame reader, a shared frame writer,
+// and one goroutine per in-flight request.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	ctx  context.Context
+	stop context.CancelFunc
+
+	wmu sync.Mutex // serializes response frames
+
+	mu      sync.Mutex
+	cancels map[uint64]context.CancelCauseFunc
+
+	wg sync.WaitGroup
+}
+
+func (s *Server) newSession(conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	return &session{
+		srv:     s,
+		conn:    conn,
+		ctx:     ctx,
+		stop:    cancel,
+		cancels: make(map[uint64]context.CancelCauseFunc),
+	}
+}
+
+func (ss *session) serve() {
+	defer func() {
+		ss.stop() // cancels every in-flight query of this session
+		ss.wg.Wait()
+		ss.conn.Close()
+	}()
+	for {
+		var req wire.Request
+		if err := wire.ReadFrame(ss.conn, &req); err != nil {
+			return // disconnect (or shutdown closed the conn)
+		}
+		ss.wg.Add(1)
+		go func() {
+			defer ss.wg.Done()
+			ss.dispatch(&req)
+		}()
+	}
+}
+
+func (ss *session) reply(resp *wire.Response) {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	if err := wire.WriteFrame(ss.conn, resp); err != nil {
+		// The read loop will notice the dead conn; nothing else to do.
+		ss.conn.Close()
+	}
+}
+
+func (ss *session) fail(id uint64, code string, err error) {
+	ss.reply(&wire.Response{ID: id, ErrCode: code, Err: err.Error()})
+}
+
+// errCanceledByClient distinguishes an OpCancel from other context
+// cancellations in trace output; both map to CodeCanceled on the wire.
+var errCanceledByClient = errors.New("server: canceled by client")
+
+func (ss *session) dispatch(req *wire.Request) {
+	srv := ss.srv
+	switch req.Op {
+	case wire.OpPing:
+		ss.reply(&wire.Response{ID: req.ID})
+
+	case wire.OpLoad:
+		if err := srv.db.Load(req.Name, req.Columns, req.Rows); err != nil {
+			ss.fail(req.ID, wire.CodeBadRequest, err)
+			return
+		}
+		srv.loads.Add(1)
+		ss.reply(&wire.Response{ID: req.ID})
+
+	case wire.OpLoadCSV:
+		if err := srv.db.LoadCSVReader(req.Name, strings.NewReader(req.CSV)); err != nil {
+			ss.fail(req.ID, wire.CodeBadRequest, err)
+			return
+		}
+		srv.loads.Add(1)
+		ss.reply(&wire.Response{ID: req.ID})
+
+	case wire.OpRelations:
+		var infos []wire.RelationInfo
+		for _, name := range srv.db.Relations() {
+			infos = append(infos, wire.RelationInfo{
+				Name:    name,
+				Columns: srv.db.Columns(name),
+				Rows:    srv.db.Cardinality(name),
+			})
+		}
+		ss.reply(&wire.Response{ID: req.ID, Relations: infos})
+
+	case wire.OpCancel:
+		ss.mu.Lock()
+		cancel := ss.cancels[req.Target]
+		ss.mu.Unlock()
+		if cancel != nil {
+			cancel(errCanceledByClient)
+		}
+		// Idempotent: canceling a finished (or unknown) request is a no-op.
+		ss.reply(&wire.Response{ID: req.ID})
+
+	case wire.OpRun, wire.OpCount, wire.OpExplain:
+		ss.query(req)
+
+	default:
+		ss.fail(req.ID, wire.CodeBadRequest, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// timeoutFor clamps the client's requested deadline to the server's cap.
+func (s *Server) timeoutFor(req *wire.Request) time.Duration {
+	t := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		t = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if t > s.cfg.MaxTimeout {
+		t = s.cfg.MaxTimeout
+	}
+	return t
+}
+
+func parseStrategy(name string) (parajoin.Strategy, error) {
+	if name == "" {
+		return parajoin.Auto, nil
+	}
+	s := parajoin.Strategy(strings.ToLower(name))
+	if s == parajoin.Auto || s == parajoin.Semijoin {
+		return s, nil
+	}
+	for _, known := range parajoin.Strategies() {
+		if s == known {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("unknown strategy %q", name)
+}
+
+// query runs one of the evaluation ops through the admission gate.
+func (ss *session) query(req *wire.Request) {
+	srv := ss.srv
+	seq := srv.querySeq.Add(1)
+	start := time.Now()
+	srv.cfg.Tracer.Emit(trace.Event{
+		Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1, Name: "start",
+	})
+	outcome := func(name string, rows int64) {
+		srv.cfg.Tracer.Emit(trace.Event{
+			Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1,
+			Name: name, Tuples: rows, Dur: time.Since(start),
+		})
+		srv.cfg.Tracer.Flush()
+	}
+
+	// Per-query deadline and cancellation: the context dies when the client
+	// cancels (OpCancel), the connection drops, the deadline passes, or the
+	// server hard-stops.
+	ctx, cancel := context.WithCancelCause(ss.ctx)
+	defer cancel(nil)
+	runCtx, cancelTimeout := context.WithTimeout(ctx, srv.timeoutFor(req))
+	defer cancelTimeout()
+	ss.mu.Lock()
+	ss.cancels[req.ID] = cancel
+	ss.mu.Unlock()
+	defer func() {
+		ss.mu.Lock()
+		delete(ss.cancels, req.ID)
+		ss.mu.Unlock()
+	}()
+
+	// Admission: a free slot, a bounded FIFO wait, or a typed rejection.
+	release, waited, err := ss.srv.gate.acquire(runCtx)
+	if err != nil {
+		code := errCode(err)
+		outcome(code, 0)
+		ss.fail(req.ID, code, err)
+		return
+	}
+	// Released after the response is written, so a drained server implies
+	// every admitted query's response reached its connection.
+	defer release()
+
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		outcome(wire.CodeBadRequest, 0)
+		ss.fail(req.ID, wire.CodeBadRequest, err)
+		return
+	}
+	q, err := srv.db.Query(req.Rule)
+	if err != nil {
+		outcome(wire.CodeBadRequest, 0)
+		ss.fail(req.ID, wire.CodeBadRequest, err)
+		return
+	}
+	opts := parajoin.RunOptions{Strategy: strategy, MaxLocalTuples: srv.budget}
+
+	resp := &wire.Response{ID: req.ID}
+	var rows int64
+	switch req.Op {
+	case wire.OpRun:
+		res, err := q.RunWithOptions(runCtx, opts)
+		if err != nil {
+			code := errCode(err)
+			outcome(code, 0)
+			ss.fail(req.ID, code, err)
+			return
+		}
+		resp.Columns = res.Columns
+		resp.Rows = res.Rows
+		resp.Stats = wireStats(&res.Stats, waited)
+		rows = int64(len(res.Rows))
+
+	case wire.OpCount:
+		n, st, err := q.CountWithOptions(runCtx, opts)
+		if err != nil {
+			code := errCode(err)
+			outcome(code, 0)
+			ss.fail(req.ID, code, err)
+			return
+		}
+		resp.Count = n
+		resp.Stats = wireStats(st, waited)
+		rows = n
+
+	case wire.OpExplain:
+		out, err := q.ExplainAnalyze(runCtx, strategy)
+		if err != nil {
+			code := errCode(err)
+			outcome(code, 0)
+			ss.fail(req.ID, code, err)
+			return
+		}
+		resp.Explain = out
+	}
+	outcome("ok", rows)
+	ss.reply(resp)
+}
+
+func wireStats(st *parajoin.Stats, waited time.Duration) *wire.Stats {
+	if st == nil {
+		return nil
+	}
+	return &wire.Stats{
+		Strategy:        string(st.Strategy),
+		Workers:         st.Workers,
+		WallNanos:       int64(st.Wall),
+		CPUNanos:        int64(st.CPU),
+		TuplesShuffled:  st.TuplesShuffled,
+		MaxConsumerSkew: st.MaxConsumerSkew,
+		QueueWaitNanos:  int64(waited),
+	}
+}
+
+// errCode maps an error to its wire code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded
+	case errors.Is(err, ErrDraining):
+		return wire.CodeDraining
+	case errors.Is(err, parajoin.ErrOutOfMemory):
+		return wire.CodeOOM
+	case errors.Is(err, parajoin.ErrClosed):
+		return wire.CodeClosed
+	case errors.Is(err, errCanceledByClient), errors.Is(err, context.Canceled):
+		return wire.CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeDeadline
+	}
+	return wire.CodeInternal
+}
+
+// ---------------------------------------------------------------- expvar
+
+// Live servers, summed into the "parajoin_server" expvar — the serving
+// analogue of the engine's "parajoin_engine" live counters.
+var (
+	registryMu sync.Mutex
+	registry   = make(map[*Server]struct{})
+	publish    sync.Once
+)
+
+func registerServer(s *Server) {
+	registryMu.Lock()
+	registry[s] = struct{}{}
+	registryMu.Unlock()
+	publish.Do(func() {
+		expvar.Publish("parajoin_server", expvar.Func(func() any {
+			registryMu.Lock()
+			defer registryMu.Unlock()
+			var total Stats
+			for s := range registry {
+				st := s.Stats()
+				total.Sessions += st.Sessions
+				total.Loads += st.Loads
+				total.Gate.InFlight += st.Gate.InFlight
+				total.Gate.Queued += st.Gate.Queued
+				total.Gate.Admitted += st.Gate.Admitted
+				total.Gate.Completed += st.Gate.Completed
+				total.Gate.RejectedQueueFull += st.Gate.RejectedQueueFull
+				total.Gate.RejectedQueueWait += st.Gate.RejectedQueueWait
+				total.Gate.CanceledInQueue += st.Gate.CanceledInQueue
+				total.Gate.Draining = total.Gate.Draining || st.Gate.Draining
+			}
+			return total
+		}))
+	})
+}
+
+func unregisterServer(s *Server) {
+	registryMu.Lock()
+	delete(registry, s)
+	registryMu.Unlock()
+}

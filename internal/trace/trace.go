@@ -34,6 +34,11 @@ const (
 	KindSend Kind = "send"
 	// KindPhase is a Tributary phase ("sort" or "join") on one worker.
 	KindPhase Kind = "phase"
+	// KindQuery is a serving-layer query span (emitted by internal/server,
+	// not the engine): Name is the lifecycle point ("start") or the outcome
+	// ("ok", "overloaded", "canceled", ...), Run the server's query sequence
+	// number, Dur the end-to-end latency, Tuples the result rows.
+	KindQuery Kind = "query"
 )
 
 // Event is one structured trace record. The JSONL sink writes it verbatim

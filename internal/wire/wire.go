@@ -1,0 +1,164 @@
+// Package wire defines parajoind's client↔server protocol: length-prefixed
+// JSON frames over a byte stream (normally TCP).
+//
+// Every frame is a 4-byte big-endian length followed by that many bytes of
+// JSON. Requests carry a client-chosen ID; the server answers every request
+// with exactly one Response bearing the same ID. Responses may arrive out
+// of order — the server evaluates queries concurrently — so clients must
+// demultiplex by ID. A Cancel request references another in-flight request
+// by Target; both the cancel and the canceled request get responses.
+//
+// JSON (rather than gob) keeps the protocol debuggable with nc/jq and
+// implementable from any language; the 8-bytes-per-value cost is irrelevant
+// next to query evaluation for the workloads this serves.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame's JSON payload (64 MiB). A peer announcing a
+// larger frame is broken or hostile; readers fail the connection.
+const MaxFrame = 64 << 20
+
+// Request operations.
+const (
+	// OpPing checks liveness; the response is empty.
+	OpPing = "ping"
+	// OpLoad registers a relation: Name, Columns, Rows.
+	OpLoad = "load"
+	// OpLoadCSV loads a relation from CSV text (header row names the
+	// columns; non-integer values are dictionary-encoded server-side, so
+	// string constants in rules match).
+	OpLoadCSV = "loadcsv"
+	// OpRelations lists the catalog.
+	OpRelations = "relations"
+	// OpRun evaluates Rule and returns the rows.
+	OpRun = "run"
+	// OpCount evaluates Rule and returns only the answer count.
+	OpCount = "count"
+	// OpExplain runs EXPLAIN ANALYZE on Rule.
+	OpExplain = "explain"
+	// OpCancel cancels the in-flight request with ID Target.
+	OpCancel = "cancel"
+)
+
+// Error codes a Response may carry. Clients map these back to typed errors.
+const (
+	// CodeOverloaded: the admission queue was full or the queue-wait
+	// deadline passed — backpressure, retry later.
+	CodeOverloaded = "overloaded"
+	// CodeDraining: the server is shutting down and admits no new queries.
+	CodeDraining = "draining"
+	// CodeCanceled: the query was canceled (client cancel or connection
+	// loss).
+	CodeCanceled = "canceled"
+	// CodeDeadline: the per-query deadline expired.
+	CodeDeadline = "deadline"
+	// CodeOOM: the query exceeded its per-worker memory budget.
+	CodeOOM = "oom"
+	// CodeClosed: the server's cluster is closed.
+	CodeClosed = "closed"
+	// CodeBadRequest: unparsable rule, unknown relation/strategy/op.
+	CodeBadRequest = "bad_request"
+	// CodeInternal: anything else.
+	CodeInternal = "internal"
+)
+
+// Request is a client→server frame.
+type Request struct {
+	ID uint64 `json:"id"`
+	Op string `json:"op"`
+
+	// OpLoad / OpLoadCSV.
+	Name    string    `json:"name,omitempty"`
+	Columns []string  `json:"columns,omitempty"`
+	Rows    [][]int64 `json:"rows,omitempty"`
+	CSV     string    `json:"csv,omitempty"`
+
+	// OpRun / OpCount / OpExplain.
+	Rule     string `json:"rule,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMillis caps the query's run time; 0 takes the server default,
+	// and the server clamps to its maximum either way.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+
+	// OpCancel.
+	Target uint64 `json:"target,omitempty"`
+}
+
+// Stats is the wire form of a query's execution statistics.
+type Stats struct {
+	Strategy        string  `json:"strategy"`
+	Workers         int     `json:"workers"`
+	WallNanos       int64   `json:"wall_ns"`
+	CPUNanos        int64   `json:"cpu_ns"`
+	TuplesShuffled  int64   `json:"tuples_shuffled"`
+	MaxConsumerSkew float64 `json:"max_consumer_skew"`
+	// QueueWaitNanos is the time the query spent in the admission queue
+	// before a slot freed up — the serving-layer latency component.
+	QueueWaitNanos int64 `json:"queue_wait_ns"`
+}
+
+// RelationInfo describes one catalog entry.
+type RelationInfo struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Rows    int      `json:"rows"`
+}
+
+// Response is a server→client frame.
+type Response struct {
+	ID      uint64 `json:"id"`
+	ErrCode string `json:"err_code,omitempty"`
+	Err     string `json:"err,omitempty"`
+
+	Columns   []string       `json:"columns,omitempty"`
+	Rows      [][]int64      `json:"rows,omitempty"`
+	Count     int64          `json:"count,omitempty"`
+	Stats     *Stats         `json:"stats,omitempty"`
+	Relations []RelationInfo `json:"relations,omitempty"`
+	Explain   string         `json:"explain,omitempty"`
+}
+
+// WriteFrame encodes v as one length-prefixed JSON frame. Callers must
+// serialize concurrent writes to the same writer themselves.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame decodes the next frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}

@@ -100,8 +100,20 @@ func Strategies() []Strategy {
 	return []Strategy{RegularHash, RegularTributary, RegularHashSkew, BroadcastHash, BroadcastTributary, HyperCubeHash, HyperCubeTributary}
 }
 
+// ErrClosed is returned by queries run after (or interrupted by) Close.
+var ErrClosed = engine.ErrClosed
+
+// ErrOutOfMemory is returned when a query exceeds its per-worker
+// materialization budget (WithMemoryLimit or RunOptions.MaxLocalTuples).
+var ErrOutOfMemory = engine.ErrOutOfMemory
+
 // DB is an in-process shared-nothing parallel database: N workers, each
 // owning a horizontal fragment of every loaded relation.
+//
+// A DB is safe for concurrent use: Load and Query.Run/Count calls may
+// overlap from any number of goroutines. Each run plans against a snapshot
+// of the catalog, runs in a private exchange namespace, and keeps
+// multi-round intermediates in run-private storage.
 type DB struct {
 	mu       sync.Mutex
 	cluster  *engine.Cluster
@@ -170,7 +182,8 @@ func newDB(cluster *engine.Cluster, workers int, opts []Option) *DB {
 	return db
 }
 
-// Close releases the database's transport.
+// Close releases the database's transport. It is idempotent and safe while
+// queries run: in-flight runs fail with ErrClosed, as does any later Run.
 func (db *DB) Close() error { return db.cluster.Close() }
 
 // Workers returns the cluster size.
@@ -218,6 +231,16 @@ func (db *DB) Relations() []string {
 	return names
 }
 
+// Columns returns the column names of a loaded relation (nil when unknown).
+func (db *DB) Columns(name string) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r := db.rels[name]; r != nil {
+		return append([]string(nil), r.Schema...)
+	}
+	return nil
+}
+
 // Cardinality returns the number of rows in a loaded relation (0 when
 // unknown).
 func (db *DB) Cardinality(name string) int {
@@ -228,6 +251,11 @@ func (db *DB) Cardinality(name string) int {
 	}
 	return 0
 }
+
+// MemoryLimit returns the cluster-wide per-worker materialization cap set
+// by WithMemoryLimit (0 means unlimited). The serving layer uses it to
+// carve per-query budgets.
+func (db *DB) MemoryLimit() int64 { return db.cluster.MaxLocalTuples }
 
 // Code returns the int64 code of a string value, assigning one if new.
 // String constants in query rules are encoded with the same dictionary, so
@@ -315,16 +343,43 @@ func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, error) {
 	return res, s, nil
 }
 
+// RunOptions tunes one execution of a query.
+type RunOptions struct {
+	// Strategy selects the shuffle × join configuration; "" means Auto.
+	Strategy Strategy
+	// MaxLocalTuples overrides the database's per-worker materialization
+	// budget for this query: 0 inherits the DB-wide limit, a negative value
+	// lifts the cap. The serving layer uses it to carve per-query budgets
+	// out of the cluster-wide budget.
+	MaxLocalTuples int64
+}
+
+func (o RunOptions) strategy() Strategy {
+	if o.Strategy == "" {
+		return Auto
+	}
+	return o.Strategy
+}
+
+func (o RunOptions) engineOpts() engine.RunOpts {
+	return engine.RunOpts{MaxLocalTuples: o.MaxLocalTuples}
+}
+
 // RunWith evaluates the query with an explicit strategy.
 func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
+	return q.RunWithOptions(ctx, RunOptions{Strategy: s})
+}
+
+// RunWithOptions evaluates the query with explicit per-run options.
+func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, error) {
 	db := q.db
-	res, s, err := q.planFor(s)
+	res, s, err := q.planFor(opts.strategy())
 	if err != nil {
 		return nil, err
 	}
 
 	start := time.Now()
-	out, report, err := db.cluster.RunRounds(ctx, res.Rounds)
+	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, opts.engineOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -371,8 +426,13 @@ func (q *Query) Count(ctx context.Context) (int64, *Stats, error) {
 
 // CountWith is Count under an explicit strategy.
 func (q *Query) CountWith(ctx context.Context, s Strategy) (int64, *Stats, error) {
+	return q.CountWithOptions(ctx, RunOptions{Strategy: s})
+}
+
+// CountWithOptions is Count with explicit per-run options.
+func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *Stats, error) {
 	db := q.db
-	res, s, err := q.planFor(s)
+	res, s, err := q.planFor(opts.strategy())
 	if err != nil {
 		return 0, nil, err
 	}
@@ -386,7 +446,7 @@ func (q *Query) CountWith(ctx context.Context, s Strategy) (int64, *Stats, error
 	}
 
 	start := time.Now()
-	out, report, err := db.cluster.RunRounds(ctx, res.Rounds)
+	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, opts.engineOpts())
 	if err != nil {
 		return 0, nil, err
 	}

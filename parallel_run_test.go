@@ -1,0 +1,196 @@
+package parajoin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sortedRows canonicalizes a result for comparison.
+func sortedRows(rows [][]int64) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runParallelMix fires many simultaneous Run/Count calls on one DB — the
+// epoch-based exchange namespacing under real contention — and asserts
+// every result matches its serial baseline.
+func runParallelMix(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.LoadEdges("E", SyntheticGraph(1200, 150, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rules := []string{
+		"Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)",
+		"Chain(x,y,z,w) :- E(x,y), E(y,z), E(z,w)",
+		"Twohop(x,z) :- E(x,y), E(y,z)",
+	}
+	strategies := []Strategy{HyperCubeTributary, RegularHash, RegularTributary, BroadcastHash}
+
+	// Serial baselines, one per (rule, strategy).
+	type key struct {
+		rule int
+		strt Strategy
+	}
+	wantRows := map[key][]string{}
+	wantCount := map[key]int64{}
+	for ri, rule := range rules {
+		q, err := db.Query(rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range strategies {
+			res, err := q.RunWith(context.Background(), s)
+			if err != nil {
+				t.Fatalf("serial %s/%s: %v", rule, s, err)
+			}
+			n, _, err := q.CountWith(context.Background(), s)
+			if err != nil {
+				t.Fatalf("serial count %s/%s: %v", rule, s, err)
+			}
+			k := key{ri, s}
+			wantRows[k] = sortedRows(res.Rows)
+			wantCount[k] = n
+		}
+	}
+
+	const parallelism = 24
+	var wg sync.WaitGroup
+	errs := make([]error, parallelism)
+	for g := 0; g < parallelism; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := key{g % len(rules), strategies[g%len(strategies)]}
+			q, err := db.Query(rules[k.rule])
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if g%2 == 0 {
+				res, err := q.RunWith(context.Background(), k.strt)
+				if err != nil {
+					errs[g] = fmt.Errorf("parallel run %s/%s: %w", rules[k.rule], k.strt, err)
+					return
+				}
+				if got := sortedRows(res.Rows); !equalRows(got, wantRows[k]) {
+					errs[g] = fmt.Errorf("parallel run %s/%s: %d rows, want %d (results diverge from serial)",
+						rules[k.rule], k.strt, len(got), len(wantRows[k]))
+				}
+			} else {
+				n, _, err := q.CountWith(context.Background(), k.strt)
+				if err != nil {
+					errs[g] = fmt.Errorf("parallel count %s/%s: %w", rules[k.rule], k.strt, err)
+					return
+				}
+				if n != wantCount[k] {
+					errs[g] = fmt.Errorf("parallel count %s/%s: got %d, want %d",
+						rules[k.rule], k.strt, n, wantCount[k])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParallelRunsMemTransport(t *testing.T) {
+	db := Open(4, WithSeed(7))
+	defer db.Close()
+	runParallelMix(t, db)
+}
+
+func TestParallelRunsTCPTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP loopback cluster in -short mode")
+	}
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0"}
+	db, err := OpenTCP(addrs, []int{0, 1, 2, 3}, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	runParallelMix(t, db)
+}
+
+// TestLoadDuringQueries races Load against Run on the public API (the
+// engine-level regression test lives in internal/engine).
+func TestLoadDuringQueries(t *testing.T) {
+	db := Open(4, WithSeed(7))
+	defer db.Close()
+	if err := db.LoadEdges("E", SyntheticGraph(800, 120, 1)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Query("Twohop(x,z) :- E(x,y), E(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.LoadEdges("Other", SyntheticGraph(300, 80, i)); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, err := q.Run(context.Background()); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCloseWhileRunning checks the DB-level ErrClosed contract.
+func TestCloseWhileRunning(t *testing.T) {
+	db := Open(4)
+	if err := db.LoadEdges("E", SyntheticGraph(500, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	q, err := db.Query("Twohop(x,z) :- E(x,y), E(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Run(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("run after close: err = %v, want ErrClosed", err)
+	}
+}
