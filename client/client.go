@@ -39,6 +39,9 @@ var (
 	ErrDraining = errors.New("parajoind: draining")
 	// ErrOutOfMemory: the query exceeded its per-worker memory budget.
 	ErrOutOfMemory = errors.New("parajoind: query exceeded memory budget")
+	// ErrSpillBudget: the query spilled more bytes to disk than its hard cap
+	// allows.
+	ErrSpillBudget = errors.New("parajoind: query exceeded spill disk budget")
 	// ErrServerClosed: the server's engine cluster is closed.
 	ErrServerClosed = errors.New("parajoind: server closed")
 	// ErrConnClosed: this client's connection is gone (Close was called or
@@ -63,6 +66,8 @@ func (e *ServerError) Unwrap() error {
 		return ErrDraining
 	case wire.CodeOOM:
 		return ErrOutOfMemory
+	case wire.CodeSpillBudget:
+		return ErrSpillBudget
 	case wire.CodeClosed:
 		return ErrServerClosed
 	case wire.CodeCanceled:
@@ -107,6 +112,13 @@ type QueryOptions struct {
 	// Timeout caps the query's server-side run time; 0 takes the server
 	// default. The server clamps it to its configured maximum either way.
 	Timeout time.Duration
+	// BudgetTuples asks for a per-worker materialization budget; 0 takes the
+	// server's per-query budget. A client can tighten its carve-out but
+	// never widen it — the server clamps to its own budget.
+	BudgetTuples int64
+	// Spill picks the spill-to-disk policy ("off", "on-pressure", "always";
+	// "" takes the server default).
+	Spill string
 }
 
 // Stats reports one query's execution statistics.
@@ -119,6 +131,11 @@ type Stats struct {
 	MaxConsumerSkew float64
 	// QueueWait is the time the query spent in the server's admission queue.
 	QueueWait time.Duration
+	// PeakResidentTuples is the largest per-worker in-memory working set;
+	// SpilledBytes and SpillSegments describe spill-to-disk activity.
+	PeakResidentTuples int64
+	SpilledBytes       int64
+	SpillSegments      int64
 }
 
 // Result is a query's rows plus its stats.
@@ -311,6 +328,8 @@ func queryReq(op, rule string, opts QueryOptions) *wire.Request {
 		Rule:          rule,
 		Strategy:      opts.Strategy,
 		TimeoutMillis: int64(opts.Timeout / time.Millisecond),
+		BudgetTuples:  opts.BudgetTuples,
+		Spill:         opts.Spill,
 	}
 }
 
@@ -319,13 +338,16 @@ func statsOf(w *wire.Stats) Stats {
 		return Stats{}
 	}
 	return Stats{
-		Strategy:        w.Strategy,
-		Workers:         w.Workers,
-		Wall:            time.Duration(w.WallNanos),
-		CPU:             time.Duration(w.CPUNanos),
-		TuplesShuffled:  w.TuplesShuffled,
-		MaxConsumerSkew: w.MaxConsumerSkew,
-		QueueWait:       time.Duration(w.QueueWaitNanos),
+		Strategy:           w.Strategy,
+		Workers:            w.Workers,
+		Wall:               time.Duration(w.WallNanos),
+		CPU:                time.Duration(w.CPUNanos),
+		TuplesShuffled:     w.TuplesShuffled,
+		MaxConsumerSkew:    w.MaxConsumerSkew,
+		QueueWait:          time.Duration(w.QueueWaitNanos),
+		PeakResidentTuples: w.PeakResidentTuples,
+		SpilledBytes:       w.SpilledBytes,
+		SpillSegments:      w.SpillSegments,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"parajoin/internal/debug"
+	"parajoin/internal/engine"
 	"parajoin/internal/experiments"
 	"parajoin/internal/planner"
 	"parajoin/internal/trace"
@@ -134,6 +135,8 @@ func main() {
 		workers   = flag.Int("workers", 64, "cluster size")
 		edges     = flag.Int("edges", 0, "override synthetic graph edges")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
+		memLimit  = flag.Int64("mem-limit", 0, "per-worker tuple budget (0 = suite default)")
+		spillMode = flag.String("spill", "", "spill-to-disk policy: off, on-pressure, always (default: off)")
 		jsonPath  = flag.String("json", "", "write every run's full report as JSON to this file (- for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 
@@ -155,6 +158,16 @@ func main() {
 	suite.Timeout = *timeout
 	if *edges > 0 {
 		suite.Graph.Edges = *edges
+	}
+	if *memLimit != 0 {
+		suite.MemLimitTuples = *memLimit
+	}
+	if *spillMode != "" {
+		p, err := engine.ParseSpillPolicy(*spillMode)
+		if err != nil {
+			log.Fatalf("-spill: %v", err)
+		}
+		suite.Spill = p
 	}
 	suite.Record = *jsonPath != ""
 	if *debugAddr != "" {

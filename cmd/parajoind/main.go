@@ -54,6 +54,9 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 0, "cap on client-requested deadlines (default 10×default-timeout)")
 		memLimit      = flag.Int64("mem-limit", 0, "cluster-wide per-worker tuple budget (0 = unlimited)")
 		perQueryMem   = flag.Int64("per-query-mem", 0, "per-query per-worker tuple budget (0 = mem-limit/max-concurrent)")
+		spillMode     = flag.String("spill", "on-pressure", "spill-to-disk policy: off, on-pressure, always")
+		spillDir      = flag.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
+		maxSpillBytes = flag.Int64("max-spill-bytes", 0, "hard cap on spilled bytes per query (0 = unlimited)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 		seed          = flag.Int64("seed", 1, "planner sampling seed")
 		debugAddr     = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
@@ -84,9 +87,20 @@ func main() {
 		tracer = trace.New(trace.MultiSink(sinks...))
 	}
 
-	opts := []parajoin.Option{parajoin.WithSeed(*seed)}
+	spillPolicy, err := parajoin.ParseSpillPolicy(*spillMode)
+	if err != nil {
+		log.Fatalf("-spill: %v", err)
+	}
+
+	opts := []parajoin.Option{parajoin.WithSeed(*seed), parajoin.WithSpill(spillPolicy)}
 	if *memLimit > 0 {
 		opts = append(opts, parajoin.WithMemoryLimit(*memLimit))
+	}
+	if *spillDir != "" {
+		opts = append(opts, parajoin.WithSpillDir(*spillDir))
+	}
+	if *maxSpillBytes > 0 {
+		opts = append(opts, parajoin.WithSpillBudget(*maxSpillBytes))
 	}
 	if tracer != nil {
 		opts = append(opts, parajoin.WithTracer(tracer))
@@ -122,6 +136,7 @@ func main() {
 		DefaultTimeout:    *defTimeout,
 		MaxTimeout:        *maxTimeout,
 		PerQueryMemTuples: *perQueryMem,
+		Spill:             spillPolicy,
 		Tracer:            tracer,
 	})
 

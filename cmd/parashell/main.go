@@ -17,6 +17,8 @@
 //	\count <rule>             run a rule, printing only the answer count
 //	\explain <rule>           run a rule and print its plan with actuals
 //	\limit <n>                rows printed per query (default 10)
+//	\budget [n]               per-worker tuple budget (0 = engine default)
+//	\spill [on|off|always]    spill-to-disk policy under memory pressure
 //	\connect <host:port>      switch to a parajoind server (\local to return)
 //	\quit                     exit
 //
@@ -53,6 +55,8 @@ type shell struct {
 	addr     string         // remote address when connected
 	strategy parajoin.Strategy
 	limit    int
+	budget   int64                // per-worker tuple budget; 0 = engine default
+	spill    parajoin.SpillPolicy // SpillDefault = engine/server default
 	out      io.Writer
 }
 
@@ -258,6 +262,40 @@ func (sh *shell) command(line string) error {
 		sh.limit = n
 		return nil
 
+	case `\budget`:
+		if len(fields) == 1 {
+			if sh.budget == 0 {
+				fmt.Fprintln(sh.out, "budget: engine default")
+			} else {
+				fmt.Fprintf(sh.out, "budget: %d tuples per worker\n", sh.budget)
+			}
+			return nil
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || n < 0 {
+			return fmt.Errorf(`usage: \budget <n>  (0 resets to the engine default)`)
+		}
+		sh.budget = n
+		if n == 0 {
+			fmt.Fprintln(sh.out, "budget: engine default")
+		} else {
+			fmt.Fprintf(sh.out, "budget: %d tuples per worker\n", n)
+		}
+		return nil
+
+	case `\spill`:
+		if len(fields) == 1 {
+			fmt.Fprintf(sh.out, "spill: %s\n", sh.spill)
+			return nil
+		}
+		p, err := parajoin.ParseSpillPolicy(fields[1])
+		if err != nil {
+			return fmt.Errorf(`usage: \spill on|off|always  (%v)`, err)
+		}
+		sh.spill = p
+		fmt.Fprintf(sh.out, "spill: %s\n", p)
+		return nil
+
 	case `\count`:
 		rule := strings.TrimSpace(strings.TrimPrefix(line, `\count`))
 		if rule == "" {
@@ -297,7 +335,20 @@ func (sh *shell) queryOptions() client.QueryOptions {
 	if sh.strategy == parajoin.Auto {
 		strat = "" // let the server's planner choose
 	}
-	return client.QueryOptions{Strategy: strat}
+	opts := client.QueryOptions{Strategy: strat, BudgetTuples: sh.budget}
+	if sh.spill != parajoin.SpillDefault {
+		opts.Spill = sh.spill.String()
+	}
+	return opts
+}
+
+// runOptions are the local-mode analogue of queryOptions.
+func (sh *shell) runOptions() parajoin.RunOptions {
+	return parajoin.RunOptions{
+		Strategy:       sh.strategy,
+		MaxLocalTuples: sh.budget,
+		Spill:          sh.spill,
+	}
 }
 
 // cardinality reports a relation's row count in either mode.
@@ -327,15 +378,15 @@ func (sh *shell) runRule(rule string, countOnly bool) error {
 	}
 	ctx := context.Background()
 	if countOnly {
-		n, st, err := q.CountWith(ctx, sh.strategy)
+		n, st, err := q.CountWithOptions(ctx, sh.runOptions())
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "count = %d  wall=%v shuffled=%d [%s]\n",
-			n, st.Wall.Round(time.Millisecond), st.TuplesShuffled, st.Strategy)
+		fmt.Fprintf(sh.out, "count = %d  wall=%v shuffled=%d%s [%s]\n",
+			n, st.Wall.Round(time.Millisecond), st.TuplesShuffled, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy)
 		return nil
 	}
-	res, err := q.RunWith(ctx, sh.strategy)
+	res, err := q.RunWithOptions(ctx, sh.runOptions())
 	if err != nil {
 		return err
 	}
@@ -344,9 +395,9 @@ func (sh *shell) runRule(rule string, countOnly bool) error {
 	if st.HyperCubeShares != "" {
 		extra = ", shares " + st.HyperCubeShares
 	}
-	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d skew=%.2f [%s%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d skew=%.2f%s [%s%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.TuplesShuffled,
-		st.MaxConsumerSkew, st.Strategy, extra)
+		st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy, extra)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil
@@ -362,6 +413,15 @@ func (sh *shell) printRows(rows [][]int64) {
 	}
 }
 
+// spillNote renders spill activity for result lines; empty when the query
+// never touched disk.
+func spillNote(bytes, segments int64) string {
+	if segments == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" spilled=%dB/%dseg", bytes, segments)
+}
+
 // runRemote evaluates a rule on the connected parajoind server.
 func (sh *shell) runRemote(rule string, countOnly bool) error {
 	ctx := context.Background()
@@ -370,9 +430,9 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d [%s]\n",
+		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d%s [%s]\n",
 			n, st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
-			st.TuplesShuffled, st.Strategy)
+			st.TuplesShuffled, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy)
 		return nil
 	}
 	res, err := sh.remote.Run(ctx, rule, sh.queryOptions())
@@ -380,9 +440,9 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f [%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s [%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
-		st.TuplesShuffled, st.MaxConsumerSkew, st.Strategy)
+		st.TuplesShuffled, st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil

@@ -14,18 +14,23 @@ import (
 	"sync"
 
 	"parajoin/internal/engine"
+	"parajoin/internal/spill"
 	"parajoin/internal/trace"
 )
 
 var publishOnce sync.Once
 
 // publishEngineVars registers the engine's live counters as the
-// "parajoin_engine" expvar. Safe to call many times; expvar panics on
-// duplicate names, hence the once.
+// "parajoin_engine" expvar and the spill subsystem's process-wide counters
+// as "parajoin_spill". Safe to call many times; expvar panics on duplicate
+// names, hence the once.
 func publishEngineVars() {
 	publishOnce.Do(func() {
 		expvar.Publish("parajoin_engine", expvar.Func(func() any {
 			return engine.ReadLiveStats()
+		}))
+		expvar.Publish("parajoin_spill", expvar.Func(func() any {
+			return spill.ReadStats()
 		}))
 	})
 }
@@ -33,7 +38,8 @@ func publishEngineVars() {
 // Handler returns the diagnostics mux:
 //
 //	/debug/pprof/*  net/http/pprof profiles
-//	/debug/vars     expvar counters, engine live stats under "parajoin_engine"
+//	/debug/vars     expvar counters: engine live stats under
+//	                "parajoin_engine", spill counters under "parajoin_spill"
 //	/debug/trace    ring's current events as JSON Lines (404 when ring is nil)
 func Handler(ring *trace.Ring) http.Handler {
 	publishEngineVars()

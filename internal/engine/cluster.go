@@ -7,12 +7,40 @@ import (
 	"sync/atomic"
 
 	"parajoin/internal/rel"
+	"parajoin/internal/spill"
 	"parajoin/internal/trace"
 )
 
 // ErrClosed is returned by runs started (or still in flight) after the
 // cluster was closed.
 var ErrClosed = errors.New("engine: cluster is closed")
+
+// ErrSpillBudget is returned when a run's spilled bytes exceed its hard
+// disk cap (MaxSpillBytes).
+var ErrSpillBudget = spill.ErrDiskBudget
+
+// SpillPolicy decides when a run may seal materialized state to disk.
+type SpillPolicy = spill.Policy
+
+// The spill policies, re-exported for callers that configure the engine
+// without importing internal/spill.
+const (
+	// SpillDefault inherits the enclosing scope's policy (run → cluster →
+	// SpillOff).
+	SpillDefault = spill.Default
+	// SpillOff disables spilling: exceeding the budget fails the run with
+	// ErrOutOfMemory — the legacy behavior, and still the default.
+	SpillOff = spill.Off
+	// SpillOnPressure seals spillable state to disk only when a
+	// reservation would exceed the budget.
+	SpillOnPressure = spill.OnPressure
+	// SpillAlways seals every run of SealTuples tuples regardless of
+	// pressure — useful for exercising the spill path in tests.
+	SpillAlways = spill.Always
+)
+
+// ParseSpillPolicy parses "off", "on-pressure", "always", or "" (default).
+func ParseSpillPolicy(s string) (SpillPolicy, error) { return spill.ParsePolicy(s) }
 
 // Cluster is a shared-nothing cluster of workers. Each worker owns a set of
 // named relation fragments (its private storage); plans run identically on
@@ -34,6 +62,20 @@ type Cluster struct {
 	// paper's "FAIL" entries for RS_TJ on Q4/Q5. RunRoundsOpts can tighten
 	// (or lift) the budget per run.
 	MaxLocalTuples int64
+	// SpillPolicy decides whether runs may seal materialized state to disk
+	// instead of failing at the budget. SpillDefault (the zero value) means
+	// SpillOff: budgets hard-fail exactly as before spilling existed.
+	SpillPolicy SpillPolicy
+	// SpillDir is the base directory for per-run spill directories; ""
+	// uses the system temp directory.
+	SpillDir string
+	// MaxSpillBytes is the hard cap on a single run's spilled bytes (the
+	// soft tuple budget degrades to disk; this cap does not). Zero means
+	// unlimited; exceeding it fails the run with ErrSpillBudget.
+	MaxSpillBytes int64
+	// SpillSealTuples is the run length at which SpillAlways seals to
+	// disk; 0 takes the spill package's default (32Ki tuples).
+	SpillSealTuples int
 	// Tracer receives span events for every run on this cluster. Nil (the
 	// default) disables tracing at zero cost: operators are not wrapped and
 	// no events are built. Set it before running queries.

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parajoin/internal/rel"
+	"parajoin/internal/spill"
 	"parajoin/internal/trace"
 )
 
@@ -31,9 +33,21 @@ type exec struct {
 	// earlier rounds); scans resolve here before the shared cluster storage.
 	temps map[string][]*rel.Relation
 
-	memLimit int64
-	memUsed  []atomic.Int64
-	memBlown []atomic.Bool
+	// acct is the run's memory accountant: every operator's materialized
+	// state reserves tuples against it, and spillable operators release
+	// what they seal to disk.
+	acct        *spill.Accountant
+	spillPolicy spill.Policy
+	spillBase   string // base for the run directory; "" = os.TempDir()
+	sealTuples  int    // run length at which policy Always seals; 0 = default
+
+	// runDir is created lazily by the first seal and removed when the run
+	// ends (any way it ends). spillSegs counts this run's sealed segments.
+	dirOnce   sync.Once
+	runDir    *spill.Dir
+	dirErr    error
+	spillSegs atomic.Int64
+	spills    atomic.Int64
 }
 
 // fragment resolves a table name for one worker: run-private temporaries
@@ -51,24 +65,96 @@ func (e *exec) wireID(exchangeID int) int {
 	return int(e.epoch)<<20 | exchangeID
 }
 
-// alloc charges n tuples of materialized state to a worker's memory budget.
-func (e *exec) alloc(worker int, n int64) error {
-	if e.memLimit <= 0 {
+// charge reserves n tuples of materialized state against a worker's
+// budget on behalf of operator op; on failure the error names op as the
+// operator that tripped the limit.
+func (e *exec) charge(worker int, n int64, op string) error {
+	if e.acct.Reserve(worker, n) {
 		return nil
 	}
-	if e.memUsed[worker].Add(n) > e.memLimit {
-		e.memBlown[worker].Store(true)
-		return fmt.Errorf("%w (worker %d exceeded %d tuples)", ErrOutOfMemory, worker, e.memLimit)
+	e.acct.Blow(worker, op)
+	return e.oomErr(worker)
+}
+
+// oomErr is the single ErrOutOfMemory construction site: it reports the
+// budget and, when known, the operator that first tripped it.
+func (e *exec) oomErr(worker int) error {
+	if op, ok := e.acct.Blown(worker); ok && op != "" {
+		return fmt.Errorf("%w (worker %d exceeded %d tuples in %s)", ErrOutOfMemory, worker, e.acct.Limit(), op)
 	}
-	return nil
+	return fmt.Errorf("%w (worker %d exceeded %d tuples)", ErrOutOfMemory, worker, e.acct.Limit())
 }
 
 // memErr reports whether the worker's budget was blown at any point.
 func (e *exec) memErr(worker int) error {
-	if e.memLimit > 0 && e.memBlown[worker].Load() {
-		return fmt.Errorf("%w (worker %d exceeded %d tuples)", ErrOutOfMemory, worker, e.memLimit)
+	if _, ok := e.acct.Blown(worker); ok {
+		return e.oomErr(worker)
 	}
 	return nil
+}
+
+// spillErr translates a spill-package error into the engine's vocabulary:
+// a budget failure becomes ErrOutOfMemory naming the tripping operator;
+// everything else (disk cap, I/O) passes through.
+func (e *exec) spillErr(worker int, err error) error {
+	if errors.Is(err, spill.ErrBudget) {
+		return e.oomErr(worker)
+	}
+	return err
+}
+
+// spillEnabled reports whether this run may seal state to disk.
+func (e *exec) spillEnabled() bool {
+	return e.spillPolicy == spill.OnPressure || e.spillPolicy == spill.Always
+}
+
+// spillConfig builds the Sorter/Buffer configuration for one operator.
+// With spilling off (or a zero-arity row shape no segment can hold) the
+// Create hook stays nil, so budget pressure hard-errors exactly as the
+// legacy path did.
+func (e *exec) spillConfig(worker, arity int, label string) spill.Config {
+	cfg := spill.Config{
+		Acct:       e.acct,
+		Worker:     worker,
+		Arity:      arity,
+		Policy:     e.spillPolicy,
+		SealTuples: e.sealTuples,
+		Label:      label,
+	}
+	if e.spillEnabled() && arity > 0 {
+		cfg.Create = e.segmentFile
+		cfg.OnSpill = func(ev spill.Event) {
+			e.spills.Add(1)
+			e.spillSegs.Add(1)
+			if e.tracer.Enabled() {
+				e.tracer.Emit(trace.Event{
+					Kind: trace.KindSpill, Run: e.epoch, Worker: worker, Exchange: -1,
+					Name: ev.Label, Tuples: ev.Tuples, Bytes: ev.Bytes, Dur: ev.Dur,
+				})
+			}
+		}
+	}
+	return cfg
+}
+
+// segmentFile hands out segment files inside the run's spill directory,
+// creating the directory on first use.
+func (e *exec) segmentFile() (*os.File, error) {
+	e.dirOnce.Do(func() {
+		e.runDir, e.dirErr = spill.NewDir(e.spillBase)
+	})
+	if e.dirErr != nil {
+		return nil, e.dirErr
+	}
+	return e.runDir.Create()
+}
+
+// cleanupSpill removes the run's spill directory. Called once all worker
+// goroutines have finished, however the run ended.
+func (e *exec) cleanupSpill() {
+	if e.runDir != nil {
+		e.runDir.Remove()
+	}
 }
 
 // compile turns a plan node into a runtime operator for one task. With
@@ -423,19 +509,24 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 
 	n := c.Workers()
 	e := &exec{
-		cluster:   c,
-		transport: c.transport,
-		metrics:   NewMetrics(n),
-		tracer:    c.runTracer(opts),
-		ctx:       runCtx,
-		cancel:    cancel,
-		batchSize: c.BatchSize,
-		epoch:     c.epoch.Add(1),
-		temps:     temps,
-		memLimit:  c.runMemLimit(opts),
-		memUsed:   make([]atomic.Int64, n),
-		memBlown:  make([]atomic.Bool, n),
+		cluster:     c,
+		transport:   c.transport,
+		metrics:     NewMetrics(n),
+		tracer:      c.runTracer(opts),
+		ctx:         runCtx,
+		cancel:      cancel,
+		batchSize:   c.BatchSize,
+		epoch:       c.epoch.Add(1),
+		temps:       temps,
+		acct:        spill.NewAccountant(n, c.runMemLimit(opts), c.runSpillBytes(opts)),
+		spillPolicy: c.runSpillPolicy(opts),
+		spillBase:   c.runSpillDir(opts),
+		sealTuples:  c.SpillSealTuples,
 	}
+	// The spill directory outlives every worker goroutine (wg.Wait happens
+	// first), so this single deferred removal covers success, error, and
+	// cancellation alike.
+	defer e.cleanupSpill()
 	meter, _ := c.transport.(TransportMeter)
 	var ts0 TransportStats
 	if meter != nil {
@@ -499,6 +590,10 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 	wall := time.Since(start)
 	report := e.metrics.report(wall)
 	report.CPUTime = processCPU() - cpu0
+	report.PeakResidentTuples = e.acct.Peaks()
+	report.SpilledBytes = e.acct.DiskUsed()
+	report.SpillSegments = e.spillSegs.Load()
+	report.Spills = e.spills.Load()
 	if meter != nil {
 		// On a transport shared by concurrent runs the byte deltas cover
 		// everything in flight, not just this run; parajoin's usage (one
@@ -554,14 +649,44 @@ func (e *exec) runRoot(root Node, w int) (*rel.Relation, error) {
 	defer op.close()
 
 	out := &rel.Relation{Name: "result", Schema: op.schema().Clone()}
+	if !e.spillEnabled() {
+		for {
+			b, err := op.next()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, b...)
+		}
+	}
+	// With spilling on, result (and StoreAs) materialization is charged to
+	// the budget through a spillable FIFO buffer and sealed to disk under
+	// pressure; the final read-back is modeled as disk-backed state and is
+	// accounted against the disk cap, not the tuple budget.
+	buf := spill.NewBuffer(e.spillConfig(w, len(out.Schema), "result"))
 	for {
 		b, err := op.next()
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		out.Tuples = append(out.Tuples, b...)
+		for _, t := range b {
+			if err := buf.Add(t); err != nil {
+				return nil, e.spillErr(w, err)
+			}
+		}
 	}
+	stream, err := buf.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out.Tuples, err = spill.Drain(stream)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

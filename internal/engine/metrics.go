@@ -151,6 +151,16 @@ type Report struct {
 	// lifetime maximum, not reset between runs) — large values mean slow
 	// consumers let producers run far ahead.
 	MaxQueueDepth int64
+	// PeakResidentTuples is each worker's reservation high-water mark
+	// against the memory accountant — the per-worker working set the run
+	// actually held in memory at once.
+	PeakResidentTuples []int64
+	// SpilledBytes, SpillSegments, and Spills describe the run's
+	// spill-to-disk activity: bytes written, segment files created, and
+	// in-memory runs sealed. All zero when nothing spilled.
+	SpilledBytes  int64
+	SpillSegments int64
+	Spills        int64
 	// Exchanges lists per-exchange traffic in plan order.
 	Exchanges []ExchangeReport
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"parajoin/internal/core"
 	"parajoin/internal/ljoin"
 	"parajoin/internal/rel"
+	"parajoin/internal/spill"
 	"parajoin/internal/trace"
 )
 
@@ -162,7 +164,7 @@ func (o *projectOp) next() ([]rel.Tuple, error) {
 					continue
 				}
 				o.seen[k] = struct{}{}
-				if err := o.t.ex.alloc(o.t.worker, 1); err != nil {
+				if err := o.t.ex.charge(o.t.worker, 1, "project-dedup"); err != nil {
 					return nil, err
 				}
 			}
@@ -285,7 +287,7 @@ func (o *hashJoinOp) next() ([]rel.Tuple, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+			if err := o.t.ex.charge(o.t.worker, int64(len(b)), "hashjoin"); err != nil {
 				return nil, err
 			}
 			t0 := time.Now()
@@ -317,7 +319,7 @@ func (o *hashJoinOp) next() ([]rel.Tuple, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+			if err := o.t.ex.charge(o.t.worker, int64(len(b)), "hashjoin"); err != nil {
 				return nil, err
 			}
 			t0 := time.Now()
@@ -355,21 +357,30 @@ func joinKeyCols(t rel.Tuple, cols []int, buf []byte) string {
 
 // tributaryOp materializes its inputs (the post-shuffle fragments of every
 // atom), sorts them (metered as sort time), runs the Tributary join
-// (metered as join time), and streams the result.
+// (metered as join time), and streams the result. With spilling enabled
+// the inputs go through an external merge sort and the result through a
+// spillable buffer, so the working set is bounded by the run's budget.
 type tributaryOp struct {
-	t       *task
-	q       *core.Query
-	inputs  map[string]operator
-	order   []core.Var
-	mode    ljoin.SeekMode
-	sch     rel.Schema
+	t      *task
+	q      *core.Query
+	inputs map[string]operator
+	order  []core.Var
+	mode   ljoin.SeekMode
+	sch    rel.Schema
+
+	// In-memory path.
 	results []rel.Tuple
 	pos     int
+	// Spilled path.
+	stream spill.Stream
 }
 
 func (o *tributaryOp) schema() rel.Schema { return o.sch }
 
 func (o *tributaryOp) open() error {
+	if o.t.ex.spillEnabled() {
+		return o.openSpilled()
+	}
 	rels := make(map[string]*rel.Relation, len(o.inputs))
 	for alias, in := range o.inputs {
 		if err := in.open(); err != nil {
@@ -384,7 +395,7 @@ func (o *tributaryOp) open() error {
 			if err != nil {
 				return err
 			}
-			if err := o.t.ex.alloc(o.t.worker, int64(len(b))); err != nil {
+			if err := o.t.ex.charge(o.t.worker, int64(len(b)), "tributary-input("+alias+")"); err != nil {
 				return err
 			}
 			r.Tuples = append(r.Tuples, b...)
@@ -412,7 +423,7 @@ func (o *tributaryOp) open() error {
 	joinStart := time.Now()
 	var produced int
 	runErr := p.Run(func(t rel.Tuple) bool {
-		if o.t.ex.alloc(o.t.worker, 1) != nil {
+		if o.t.ex.charge(o.t.worker, 1, "tributary") != nil {
 			return false // stop early; memErr below reports the budget breach
 		}
 		// This enumeration can produce a worst-case-size result with no
@@ -437,6 +448,149 @@ func (o *tributaryOp) open() error {
 	return o.t.ex.memErr(o.t.worker)
 }
 
+// openSpilled is the bounded-memory open: each input streams through its
+// atom's Normalizer into an external merge Sorter (sealed runs go to
+// disk under pressure), the k-way-merged stream rebuilds the trie arrays
+// as disk-backed state, and the join's output goes through a spillable
+// FIFO buffer that next() then streams from. The merged order is
+// bit-identical to the in-memory sort, so results match the unlimited
+// run exactly.
+func (o *tributaryOp) openSpilled() error {
+	e := o.t.ex
+	atoms := make(map[string]core.Atom, len(o.q.Atoms))
+	for _, a := range o.q.Atoms {
+		atoms[a.Alias] = a
+	}
+	aliases := make([]string, 0, len(o.inputs))
+	for alias := range o.inputs {
+		aliases = append(aliases, alias)
+	}
+	sort.Strings(aliases)
+
+	var inputTuples int64
+	sortStart := time.Now()
+	rels := make(map[string]*rel.Relation, len(o.inputs))
+	for _, alias := range aliases {
+		in := o.inputs[alias]
+		atom, ok := atoms[alias]
+		if !ok {
+			return fmt.Errorf("engine: tributary input %q matches no atom of %s", alias, o.q.Name)
+		}
+		if err := in.open(); err != nil {
+			return err
+		}
+		sch := in.schema()
+		if len(sch) != len(atom.Terms) {
+			return fmt.Errorf("engine: atom %s has %d terms but input %s has arity %d",
+				atom, len(atom.Terms), alias, len(sch))
+		}
+		norm := ljoin.NewNormalizer(atom, o.order)
+		r := &rel.Relation{Name: alias, Schema: norm.Schema().Clone()}
+		if norm.Arity() == 0 {
+			// Fully-constant atom: only existence matters, nothing is
+			// materialized.
+			exists := false
+			for {
+				b, err := in.next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				inputTuples += int64(len(b))
+				for _, t := range b {
+					if _, ok := norm.Apply(t); ok {
+						exists = true
+					}
+				}
+			}
+			if exists {
+				r.Tuples = []rel.Tuple{{}}
+			}
+		} else {
+			sorter := spill.NewSorter(e.spillConfig(o.t.worker, norm.Arity(), "sort("+alias+")"))
+			for {
+				b, err := in.next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				inputTuples += int64(len(b))
+				for _, t := range b {
+					nt, ok := norm.Apply(t)
+					if !ok {
+						continue
+					}
+					if err := sorter.Add(nt); err != nil {
+						return e.spillErr(o.t.worker, err)
+					}
+				}
+			}
+			stream, err := sorter.Finish()
+			if err != nil {
+				return err
+			}
+			// The merged sorted run becomes the trie's backing array. Its
+			// spilled part was charged to the disk cap when sealed; the
+			// read-back is modeled as a disk-backed index, so it is not
+			// re-charged to the tuple budget.
+			if r.Tuples, err = spill.Drain(stream); err != nil {
+				return err
+			}
+		}
+		if err := in.close(); err != nil {
+			return err
+		}
+		rels[alias] = r
+	}
+
+	p, err := ljoin.PrepareSorted(o.q, rels, o.order, o.mode)
+	if err != nil {
+		return err
+	}
+	sortDur := time.Since(sortStart)
+	e.metrics.addSort(o.t.worker, sortDur)
+	e.metrics.addSorted(o.t.worker, inputTuples)
+	o.emitPhase("sort", sortDur, inputTuples)
+
+	joinStart := time.Now()
+	buf := spill.NewBuffer(e.spillConfig(o.t.worker, len(o.sch), "tributary"))
+	var addErr error
+	var produced int
+	runErr := p.Run(func(t rel.Tuple) bool {
+		if addErr = buf.Add(t.Clone()); addErr != nil {
+			return false
+		}
+		if produced++; produced&0x1fff == 0 && e.ctx.Err() != nil {
+			return false
+		}
+		return true
+	})
+	joinDur := time.Since(joinStart)
+	e.metrics.addJoin(o.t.worker, joinDur)
+	e.metrics.addSeeks(o.t.worker, p.Stats().Seeks)
+	o.emitPhase("join", joinDur, buf.Len())
+	if runErr != nil {
+		return runErr
+	}
+	if addErr != nil {
+		return e.spillErr(o.t.worker, addErr)
+	}
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.memErr(o.t.worker); err != nil {
+		return err
+	}
+	if o.stream, err = buf.Finish(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // emitPhase traces one Tributary phase (the per-worker breakdown behind
 // the paper's Table 5).
 func (o *tributaryOp) emitPhase(name string, d time.Duration, tuples int64) {
@@ -451,6 +605,23 @@ func (o *tributaryOp) emitPhase(name string, d time.Duration, tuples int64) {
 }
 
 func (o *tributaryOp) next() ([]rel.Tuple, error) {
+	if o.stream != nil {
+		b := make([]rel.Tuple, 0, o.t.ex.batchSize)
+		for len(b) < o.t.ex.batchSize {
+			t, err := o.stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, t)
+		}
+		if len(b) == 0 {
+			return nil, io.EOF
+		}
+		return b, nil
+	}
 	if o.pos >= len(o.results) {
 		return nil, io.EOF
 	}
@@ -463,7 +634,12 @@ func (o *tributaryOp) next() ([]rel.Tuple, error) {
 	return b, nil
 }
 
-func (o *tributaryOp) close() error { return nil }
+func (o *tributaryOp) close() error {
+	if o.stream != nil {
+		return o.stream.Close()
+	}
+	return nil
+}
 
 // ---------------------------------------------------------------- recv
 

@@ -34,6 +34,15 @@ type RunOpts struct {
 	// the cap entirely. The serving layer uses it to carve per-query budgets
 	// out of the cluster-wide limit.
 	MaxLocalTuples int64
+	// Spill selects this run's spill policy; SpillDefault inherits the
+	// cluster's (whose own default is SpillOff — the legacy hard-OOM
+	// behavior).
+	Spill SpillPolicy
+	// SpillDir overrides the cluster's spill directory ("" inherits).
+	SpillDir string
+	// MaxSpillBytes overrides the cluster's hard cap on this run's spilled
+	// bytes: 0 inherits, a negative value lifts the cap.
+	MaxSpillBytes int64
 }
 
 func (c *Cluster) runTracer(o RunOpts) *trace.Tracer {
@@ -51,6 +60,30 @@ func (c *Cluster) runMemLimit(o RunOpts) int64 {
 		return 0
 	}
 	return c.MaxLocalTuples
+}
+
+func (c *Cluster) runSpillPolicy(o RunOpts) SpillPolicy {
+	if o.Spill != SpillDefault {
+		return o.Spill
+	}
+	return c.SpillPolicy
+}
+
+func (c *Cluster) runSpillDir(o RunOpts) string {
+	if o.SpillDir != "" {
+		return o.SpillDir
+	}
+	return c.SpillDir
+}
+
+func (c *Cluster) runSpillBytes(o RunOpts) int64 {
+	switch {
+	case o.MaxSpillBytes > 0:
+		return o.MaxSpillBytes
+	case o.MaxSpillBytes < 0:
+		return 0
+	}
+	return c.MaxSpillBytes
 }
 
 // RunRounds executes rounds in order, materializing intermediate results
@@ -124,6 +157,11 @@ func mergeReports(a, b *Report) *Report {
 		BatchesSent:     a.BatchesSent + b.BatchesSent,
 		BatchesReceived: a.BatchesReceived + b.BatchesReceived,
 		MaxQueueDepth:   max(a.MaxQueueDepth, b.MaxQueueDepth),
+
+		PeakResidentTuples: append([]int64(nil), a.PeakResidentTuples...),
+		SpilledBytes:       a.SpilledBytes + b.SpilledBytes,
+		SpillSegments:      a.SpillSegments + b.SpillSegments,
+		Spills:             a.Spills + b.Spills,
 	}
 	for i := range out.BusyTime {
 		out.BusyTime[i] += b.BusyTime[i]
@@ -132,6 +170,11 @@ func mergeReports(a, b *Report) *Report {
 		out.Processed[i] += b.Processed[i]
 		out.Sorted[i] += b.Sorted[i]
 		out.Seeks[i] += b.Seeks[i]
+	}
+	// Rounds free their state between executions, so the run's peak is the
+	// max across rounds, not the sum.
+	for i := range out.PeakResidentTuples {
+		out.PeakResidentTuples[i] = max(out.PeakResidentTuples[i], b.PeakResidentTuples[i])
 	}
 	out.Exchanges = append(out.Exchanges, a.Exchanges...)
 	offset := 0

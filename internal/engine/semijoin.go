@@ -47,7 +47,7 @@ func (o *semiJoinOp) open() error {
 		for _, t := range b {
 			k := joinKeyCols(t, o.rCols, o.buf)
 			if _, ok := o.keys[k]; !ok {
-				if err := o.t.ex.alloc(o.t.worker, 1); err != nil {
+				if err := o.t.ex.charge(o.t.worker, 1, "semijoin"); err != nil {
 					return err
 				}
 				o.keys[k] = struct{}{}

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parajoin/internal/core"
+	"parajoin/internal/ljoin"
+	"parajoin/internal/rel"
+	"parajoin/internal/shares"
+	"parajoin/internal/trace"
+)
+
+// spillTriangleData loads one deterministic triangle workload into a
+// cluster and returns the naive answer.
+func spillTriangleData(c *Cluster) (*core.Query, *rel.Relation) {
+	q := triangleQuery()
+	r := randGraph("R", 1200, 60, 21)
+	s := randGraph("S", 1200, 60, 22)
+	u := randGraph("T", 1200, 60, 23)
+	c.Load(r)
+	c.Load(s)
+	c.Load(u)
+	want, _ := ljoin.NaiveEvaluate(q, map[string]*rel.Relation{"R": r, "S": s, "T": u})
+	return q, want
+}
+
+func maxPeak(report *Report) int64 {
+	var peak int64
+	for _, p := range report.PeakResidentTuples {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// assertNoSpillFiles fails if any run directory survived under dir.
+func assertNoSpillFiles(t *testing.T, dir string) {
+	t.Helper()
+	leftovers, err := filepath.Glob(filepath.Join(dir, "parajoin-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("spill temp dirs left behind: %v", leftovers)
+	}
+}
+
+// TestSpillOnPressureMatchesUnlimited is the subsystem's acceptance test: a
+// Tributary join whose working set exceeds the budget by ≥4× must complete
+// under SpillOnPressure with exactly the unlimited run's answer, report
+// spill activity, and leave no temp files behind.
+func TestSpillOnPressureMatchesUnlimited(t *testing.T) {
+	const workers = 4
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{2, 2, 1}}
+
+	// Baseline: unlimited memory, spilling off.
+	free := NewCluster(workers)
+	q, want := spillTriangleData(free)
+	plan := hcTrianglePlan(q, cfg, workers)
+	base, baseReport, err := free.Run(context.Background(), plan)
+	free.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Dedup()
+	if !base.Equal(want) {
+		t.Fatalf("unlimited run wrong: %d tuples, naive %d", base.Cardinality(), want.Cardinality())
+	}
+	peak := maxPeak(baseReport)
+	if peak < 8 {
+		t.Fatalf("baseline peak %d too small to squeeze 4×", peak)
+	}
+
+	// Squeezed: a quarter of the measured working set, spilling on.
+	dir := t.TempDir()
+	c := NewCluster(workers)
+	defer c.Close()
+	c.MaxLocalTuples = peak / 4
+	c.SpillPolicy = SpillOnPressure
+	c.SpillDir = dir
+	spillTriangleData(c)
+
+	ring := trace.NewRing(1 << 14)
+	rounds := []Round{{Name: "hc_tj", Plan: plan}}
+	got, report, err := c.RunRoundsOpts(context.Background(), rounds, RunOpts{Tracer: trace.New(ring)})
+	if err != nil {
+		t.Fatalf("squeezed run (budget %d): %v", peak/4, err)
+	}
+	got.Dedup()
+	if !got.Equal(want) {
+		t.Fatalf("spilled run: %d tuples, want %d", got.Cardinality(), want.Cardinality())
+	}
+	if report.SpillSegments == 0 || report.SpilledBytes == 0 {
+		t.Fatalf("no spill activity reported: segments=%d bytes=%d",
+			report.SpillSegments, report.SpilledBytes)
+	}
+	if p := maxPeak(report); p > peak/4 {
+		t.Errorf("squeezed peak %d exceeds budget %d", p, peak/4)
+	}
+	spills := 0
+	for _, e := range ring.Snapshot() {
+		if e.Kind == trace.KindSpill {
+			spills++
+		}
+	}
+	if spills == 0 {
+		t.Error("no spill trace events emitted")
+	}
+	assertNoSpillFiles(t, dir)
+}
+
+// TestSpillAlwaysMatchesUnlimited runs the same workload with every run
+// sealed to disk regardless of pressure — the policy that exercises the
+// external merge path hardest.
+func TestSpillAlwaysMatchesUnlimited(t *testing.T) {
+	const workers = 3
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{3, 1, 1}}
+
+	free := NewCluster(workers)
+	q, want := spillTriangleData(free)
+	plan := hcTrianglePlan(q, cfg, workers)
+	free.Close()
+
+	dir := t.TempDir()
+	c := NewCluster(workers)
+	defer c.Close()
+	c.SpillPolicy = SpillAlways
+	c.SpillDir = dir
+	c.SpillSealTuples = 64 // small runs → every operator exercises the merge
+	spillTriangleData(c)
+
+	got, report, err := c.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Dedup()
+	if !got.Equal(want) {
+		t.Fatalf("always-spill run: %d tuples, want %d", got.Cardinality(), want.Cardinality())
+	}
+	if report.SpillSegments == 0 {
+		t.Fatal("SpillAlways reported no segments")
+	}
+	assertNoSpillFiles(t, dir)
+}
+
+// TestSpillDiskCapFails: a hard cap on spilled bytes converts pressure into
+// ErrSpillBudget instead of unbounded disk growth.
+func TestSpillDiskCapFails(t *testing.T) {
+	const workers = 2
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{2, 1, 1}}
+
+	dir := t.TempDir()
+	c := NewCluster(workers)
+	defer c.Close()
+	c.MaxLocalTuples = 32
+	c.SpillPolicy = SpillOnPressure
+	c.SpillDir = dir
+	c.MaxSpillBytes = 256 // a segment or two at most
+	q, _ := spillTriangleData(c)
+
+	_, _, err := c.Run(context.Background(), hcTrianglePlan(q, cfg, workers))
+	if !errors.Is(err, ErrSpillBudget) {
+		t.Fatalf("err = %v, want ErrSpillBudget", err)
+	}
+	assertNoSpillFiles(t, dir)
+}
+
+// TestCancelMidSpillRemovesTempDir cancels the run as soon as the first
+// segment file appears on disk and verifies the per-run directory is gone
+// once Run returns — the cleanup path must cover cancellation, not just
+// success.
+func TestCancelMidSpillRemovesTempDir(t *testing.T) {
+	const workers = 2
+	cfg := shares.Config{Vars: []core.Var{"x", "y", "z"}, Dims: []int{2, 1, 1}}
+
+	dir := t.TempDir()
+	c := NewCluster(workers)
+	defer c.Close()
+	c.MaxLocalTuples = 16 // tiny budget → many small segments
+	c.SpillPolicy = SpillOnPressure
+	c.SpillDir = dir
+	q, _ := spillTriangleData(c)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for {
+			segs, _ := filepath.Glob(filepath.Join(dir, "parajoin-spill-*", "seg-*.spill"))
+			if len(segs) > 0 {
+				cancel()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+		}
+	}()
+
+	_, _, err := c.Run(ctx, hcTrianglePlan(q, cfg, workers))
+	cancel()
+	<-stop
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	assertNoSpillFiles(t, dir)
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("spill base dir not empty after cancel: %v", entries)
+	}
+}

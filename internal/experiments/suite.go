@@ -37,6 +37,13 @@ type Suite struct {
 	// MemLimitTuples is the per-worker materialization budget; runs that
 	// exceed it report FAIL, reproducing the paper's out-of-memory entries.
 	MemLimitTuples int64
+	// Spill is the spill-to-disk policy for all clusters (set it before the
+	// first Cluster call). With engine.SpillOnPressure, runs that cross the
+	// budget degrade to external sort instead of reporting FAIL.
+	Spill engine.SpillPolicy
+	// MaxSpillBytes caps spilled bytes per run; exceeding it reports FAIL
+	// with reason SPILL-CAP. 0 = unlimited.
+	MaxSpillBytes int64
 	// Timeout bounds each single run (the paper kills queries at 1000 s).
 	Timeout time.Duration
 	// Seed drives order sampling.
@@ -110,6 +117,8 @@ func (s *Suite) Cluster(n int) *engine.Cluster {
 		w := s.workloadLocked()
 		c = engine.NewCluster(n)
 		c.MaxLocalTuples = s.MemLimitTuples
+		c.SpillPolicy = s.Spill
+		c.MaxSpillBytes = s.MaxSpillBytes
 		c.Tracer = s.Tracer
 		for _, r := range w.Relations {
 			c.Load(r)
@@ -178,7 +187,12 @@ type RecordedOutcome struct {
 	CPU      time.Duration
 	Shuffled int64
 	Results  int
-	Report   *engine.Report `json:",omitempty"`
+	// PeakResident is the largest per-worker in-memory working set over the
+	// run; SpilledBytes and SpillSegments describe spill-to-disk activity.
+	PeakResident  int64          `json:",omitempty"`
+	SpilledBytes  int64          `json:",omitempty"`
+	SpillSegments int64          `json:",omitempty"`
+	Report        *engine.Report `json:",omitempty"`
 }
 
 // Outcomes returns the runs recorded so far (Record must be set).
@@ -233,19 +247,31 @@ func (s *Suite) RunQuery(q *core.Query, cfg planner.PlanConfig, n int) (*RunOutc
 		out.Results = result.Cardinality()
 	case errors.Is(err, engine.ErrOutOfMemory):
 		out.Failed, out.FailWhy = true, "OOM"
+	case errors.Is(err, engine.ErrSpillBudget):
+		out.Failed, out.FailWhy = true, "SPILL-CAP"
 	case errors.Is(err, context.DeadlineExceeded):
 		out.Failed, out.FailWhy = true, "TIMEOUT"
 	default:
 		return nil, fmt.Errorf("experiments: running %s/%v: %w", q.Name, cfg, err)
 	}
 	if s.Record {
-		s.mu.Lock()
-		s.outcomes = append(s.outcomes, &RecordedOutcome{
+		rec := &RecordedOutcome{
 			Query: q.Name, Config: cfg.String(), Workers: n,
 			Failed: out.Failed, FailWhy: out.FailWhy,
 			Wall: out.Wall, CPU: out.CPU,
 			Shuffled: out.Shuffled, Results: out.Results, Report: out.Report,
-		})
+		}
+		if report != nil {
+			for _, p := range report.PeakResidentTuples {
+				if p > rec.PeakResident {
+					rec.PeakResident = p
+				}
+			}
+			rec.SpilledBytes = report.SpilledBytes
+			rec.SpillSegments = report.SpillSegments
+		}
+		s.mu.Lock()
+		s.outcomes = append(s.outcomes, rec)
 		s.mu.Unlock()
 	}
 	return out, nil

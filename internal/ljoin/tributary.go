@@ -61,6 +61,38 @@ type preparedAtom struct {
 // relations maps atom aliases to relations whose columns follow the atom's
 // term layout.
 func Prepare(q *core.Query, relations map[string]*rel.Relation, order []core.Var, mode SeekMode) (*Prepared, error) {
+	return prepare(q, order, mode, func(atom core.Atom) (*rel.Relation, bool, error) {
+		r := relations[atom.Alias]
+		if r == nil {
+			return nil, false, fmt.Errorf("ljoin: no relation bound to atom %q", atom.Alias)
+		}
+		if len(r.Schema) != len(atom.Terms) {
+			return nil, false, fmt.Errorf("ljoin: atom %s has %d terms but relation %s has arity %d",
+				atom, len(atom.Terms), r.Name, len(r.Schema))
+		}
+		return NormalizeAtom(atom, r, order), false, nil
+	})
+}
+
+// PrepareSorted is Prepare for inputs that are already normalized (each
+// relation's columns are its atom's distinct variables in global-order
+// position) and sorted. The spilled execution path uses it: tuples are
+// normalized with a Normalizer before the external sort, so by the time
+// they reach the trie builder both steps are done.
+func PrepareSorted(q *core.Query, relations map[string]*rel.Relation, order []core.Var, mode SeekMode) (*Prepared, error) {
+	return prepare(q, order, mode, func(atom core.Atom) (*rel.Relation, bool, error) {
+		r := relations[atom.Alias]
+		if r == nil {
+			return nil, false, fmt.Errorf("ljoin: no relation bound to atom %q", atom.Alias)
+		}
+		return r, true, nil
+	})
+}
+
+// prepare builds a Prepared join, pulling each atom's relation from
+// supply, which also reports whether the relation is already sorted.
+// Supplied relations must be normalized (NormalizeAtom's output form).
+func prepare(q *core.Query, order []core.Var, mode SeekMode, supply func(core.Atom) (*rel.Relation, bool, error)) (*Prepared, error) {
 	if err := checkOrder(q, order); err != nil {
 		return nil, err
 	}
@@ -73,15 +105,10 @@ func Prepare(q *core.Query, relations map[string]*rel.Relation, order []core.Var
 	p.byLevel = make([][]int, len(order))
 	start := time.Now()
 	for _, atom := range q.Atoms {
-		r := relations[atom.Alias]
-		if r == nil {
-			return nil, fmt.Errorf("ljoin: no relation bound to atom %q", atom.Alias)
+		norm, sorted, err := supply(atom)
+		if err != nil {
+			return nil, err
 		}
-		if len(r.Schema) != len(atom.Terms) {
-			return nil, fmt.Errorf("ljoin: atom %s has %d terms but relation %s has arity %d",
-				atom, len(atom.Terms), r.Name, len(r.Schema))
-		}
-		norm := NormalizeAtom(atom, r, order)
 		if norm.Arity() == 0 {
 			// Fully-constant atom: an existence guard.
 			if norm.Cardinality() == 0 {
@@ -96,7 +123,9 @@ func Prepare(q *core.Query, relations map[string]*rel.Relation, order []core.Var
 			// paper's array-based design avoids.
 			trie = newBTreeTrie(norm.Tuples, norm.Arity())
 		} else {
-			norm.Sort()
+			if !sorted {
+				norm.Sort()
+			}
 			trie = newArrayTrie(norm.Tuples, norm.Arity(), mode)
 		}
 		pa := &preparedAtom{
@@ -152,65 +181,6 @@ func checkOrder(q *core.Query, order []core.Var) error {
 		}
 	}
 	return nil
-}
-
-// NormalizeAtom turns an atom's relation into the form Tributary join
-// consumes: rows violating the atom's constant bindings or repeated-variable
-// equalities are dropped, and the remaining columns are the atom's distinct
-// variables ordered by the global variable order.
-func NormalizeAtom(atom core.Atom, r *rel.Relation, order []core.Var) *rel.Relation {
-	pos := make(map[core.Var]int, len(order))
-	for i, v := range order {
-		pos[v] = i
-	}
-	// Distinct variables of the atom, sorted by global order, with the term
-	// position that supplies each.
-	type colSrc struct {
-		v   core.Var
-		src int
-	}
-	var cols []colSrc
-	firstPos := make(map[core.Var]int)
-	for i, t := range atom.Terms {
-		if t.IsVar {
-			if _, ok := firstPos[t.Var]; !ok {
-				firstPos[t.Var] = i
-				cols = append(cols, colSrc{t.Var, i})
-			}
-		}
-	}
-	for i := 1; i < len(cols); i++ {
-		for j := i; j > 0 && pos[cols[j].v] < pos[cols[j-1].v]; j-- {
-			cols[j], cols[j-1] = cols[j-1], cols[j]
-		}
-	}
-
-	schema := make(rel.Schema, len(cols))
-	srcs := make([]int, len(cols))
-	for i, c := range cols {
-		schema[i] = string(c.v)
-		srcs[i] = c.src
-	}
-	out := &rel.Relation{Name: atom.Alias, Schema: schema}
-	for _, t := range r.Tuples {
-		ok := true
-		for i, term := range atom.Terms {
-			if term.IsVar {
-				if t[i] != t[firstPos[term.Var]] {
-					ok = false
-					break
-				}
-			} else if t[i] != term.Const {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		out.Tuples = append(out.Tuples, t.Project(srcs))
-	}
-	return out
 }
 
 // Run executes the join, calling emit for every result tuple (laid out as

@@ -48,8 +48,13 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// PerQueryMemTuples is each query's per-worker materialization budget.
 	// 0 carves the DB-wide limit evenly across MaxConcurrent slots (when
-	// the DB has a limit); negative lifts the cap.
+	// the DB has a limit); negative lifts the cap. Clients may request a
+	// smaller budget per query, never a larger one.
 	PerQueryMemTuples int64
+	// Spill is the default spill policy for served queries; SpillDefault
+	// inherits the DB's. Clients may override per query with the request's
+	// spill field.
+	Spill parajoin.SpillPolicy
 	// Tracer receives a KindQuery span per query (admission outcome,
 	// latency, rows). Nil disables serving-layer tracing.
 	Tracer *trace.Tracer
@@ -358,6 +363,29 @@ func (ss *session) dispatch(req *wire.Request) {
 	}
 }
 
+// budgetFor resolves a query's per-worker tuple budget: the client may
+// tighten its carve-out, never widen it.
+func (s *Server) budgetFor(req *wire.Request) int64 {
+	b := s.budget
+	if req.BudgetTuples > 0 && (b <= 0 || req.BudgetTuples < b) {
+		b = req.BudgetTuples
+	}
+	return b
+}
+
+// spillFor resolves a query's spill policy: the request's explicit choice,
+// else the server's default (which may itself inherit the DB's).
+func (s *Server) spillFor(req *wire.Request) (parajoin.SpillPolicy, error) {
+	p, err := parajoin.ParseSpillPolicy(req.Spill)
+	if err != nil {
+		return parajoin.SpillDefault, err
+	}
+	if p == parajoin.SpillDefault {
+		p = s.cfg.Spill
+	}
+	return p, nil
+}
+
 // timeoutFor clamps the client's requested deadline to the server's cap.
 func (s *Server) timeoutFor(req *wire.Request) time.Duration {
 	t := s.cfg.DefaultTimeout
@@ -442,7 +470,17 @@ func (ss *session) query(req *wire.Request) {
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
-	opts := parajoin.RunOptions{Strategy: strategy, MaxLocalTuples: srv.budget}
+	spillPolicy, err := srv.spillFor(req)
+	if err != nil {
+		outcome(wire.CodeBadRequest, 0)
+		ss.fail(req.ID, wire.CodeBadRequest, err)
+		return
+	}
+	opts := parajoin.RunOptions{
+		Strategy:       strategy,
+		MaxLocalTuples: srv.budgetFor(req),
+		Spill:          spillPolicy,
+	}
 
 	resp := &wire.Response{ID: req.ID}
 	var rows int64
@@ -491,13 +529,16 @@ func wireStats(st *parajoin.Stats, waited time.Duration) *wire.Stats {
 		return nil
 	}
 	return &wire.Stats{
-		Strategy:        string(st.Strategy),
-		Workers:         st.Workers,
-		WallNanos:       int64(st.Wall),
-		CPUNanos:        int64(st.CPU),
-		TuplesShuffled:  st.TuplesShuffled,
-		MaxConsumerSkew: st.MaxConsumerSkew,
-		QueueWaitNanos:  int64(waited),
+		Strategy:           string(st.Strategy),
+		Workers:            st.Workers,
+		WallNanos:          int64(st.Wall),
+		CPUNanos:           int64(st.CPU),
+		TuplesShuffled:     st.TuplesShuffled,
+		MaxConsumerSkew:    st.MaxConsumerSkew,
+		QueueWaitNanos:     int64(waited),
+		PeakResidentTuples: st.PeakResidentTuples,
+		SpilledBytes:       st.SpilledBytes,
+		SpillSegments:      st.SpillSegments,
 	}
 }
 
@@ -510,6 +551,8 @@ func errCode(err error) string {
 		return wire.CodeDraining
 	case errors.Is(err, parajoin.ErrOutOfMemory):
 		return wire.CodeOOM
+	case errors.Is(err, parajoin.ErrSpillBudget):
+		return wire.CodeSpillBudget
 	case errors.Is(err, parajoin.ErrClosed):
 		return wire.CodeClosed
 	case errors.Is(err, errCanceledByClient), errors.Is(err, context.Canceled):

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -428,5 +429,75 @@ func TestServerCatalogAndBadRequests(t *testing.T) {
 	}
 	if _, err := c.Run(context.Background(), twohopRule, client.QueryOptions{Strategy: "warp-drive"}); !errors.As(err, &se) || se.Code != "bad_request" {
 		t.Fatalf("bad strategy: err = %v, want bad_request", err)
+	}
+}
+
+// TestServerSpillBudgetOverride covers the per-request budget and spill
+// knobs: a client-tightened budget fails hard with spilling off, completes
+// with the full answer (and spill stats) with spilling on, and an unknown
+// spill policy is a bad_request.
+func TestServerSpillBudgetOverride(t *testing.T) {
+	dir := t.TempDir()
+	db := parajoin.Open(4, parajoin.WithSeed(7), parajoin.WithSpillDir(dir))
+	if err := db.LoadEdges("E", parajoin.SyntheticGraph(1500, 300, 5)); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{MaxConcurrent: 2, Logf: quiet})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		db.Close()
+	})
+	c := dial(t, ln.Addr().String())
+	ctx := context.Background()
+
+	base, err := c.Run(ctx, triRule, client.QueryOptions{Strategy: "hc_tj"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A budget the client tightened itself, spilling off: typed OOM.
+	_, err = c.Run(ctx, triRule, client.QueryOptions{Strategy: "hc_tj", BudgetTuples: 64})
+	if !errors.Is(err, client.ErrOutOfMemory) {
+		t.Fatalf("tight budget, spill off: err = %v, want ErrOutOfMemory", err)
+	}
+
+	// The same budget with spilling on degrades to disk and still returns
+	// the full answer.
+	res, err := c.Run(ctx, triRule, client.QueryOptions{
+		Strategy: "hc_tj", BudgetTuples: 64, Spill: "on-pressure",
+	})
+	if err != nil {
+		t.Fatalf("tight budget, spill on: %v", err)
+	}
+	got, want := canon(res.Rows), canon(base.Rows)
+	if len(got) != len(want) {
+		t.Fatalf("spilled run: %d rows, unlimited %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("spilled run differs at row %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+	if res.Stats.SpillSegments == 0 || res.Stats.SpilledBytes == 0 {
+		t.Fatalf("no spill activity in stats: %+v", res.Stats)
+	}
+	if res.Stats.PeakResidentTuples > 64 {
+		t.Errorf("peak %d exceeds the 64-tuple budget", res.Stats.PeakResidentTuples)
+	}
+
+	var se *client.ServerError
+	if _, err := c.Run(ctx, triRule, client.QueryOptions{Spill: "ramdisk"}); !errors.As(err, &se) || se.Code != "bad_request" {
+		t.Fatalf("bad spill policy: err = %v, want bad_request", err)
+	}
+
+	if leftovers, _ := filepath.Glob(filepath.Join(dir, "parajoin-spill-*")); len(leftovers) != 0 {
+		t.Fatalf("spill temp dirs left behind: %v", leftovers)
 	}
 }

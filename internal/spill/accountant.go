@@ -1,0 +1,107 @@
+package spill
+
+import (
+	"sync/atomic"
+)
+
+// Accountant tracks every worker's materialized tuples against a per-run
+// budget with reserve/release semantics. One accountant is shared by all
+// operators of a run, so memory freed by one operator's spill is
+// immediately available to the others. It also enforces the run's hard
+// disk cap on spilled bytes.
+//
+// All methods are safe for concurrent use; the counters are per-worker
+// atomics, so reservations from different workers never contend.
+type Accountant struct {
+	limit     int64 // tuples per worker; <= 0 means unlimited
+	diskLimit int64 // bytes across the run; <= 0 means unlimited
+	diskUsed  atomic.Int64
+	workers   []workerAccount
+}
+
+type workerAccount struct {
+	used  atomic.Int64
+	peak  atomic.Int64
+	blown atomic.Pointer[string] // first operator label to trip the budget
+	// pad keeps neighbouring workers' counters off one cache line.
+	_ [24]byte
+}
+
+// NewAccountant creates an accountant for n workers. limit caps each
+// worker's resident tuples (<= 0 for unlimited — usage and peaks are
+// still tracked); diskLimit caps the run's total spilled bytes.
+func NewAccountant(n int, limit, diskLimit int64) *Accountant {
+	return &Accountant{limit: limit, diskLimit: diskLimit, workers: make([]workerAccount, n)}
+}
+
+// Limit returns the per-worker tuple budget (<= 0 means unlimited).
+func (a *Accountant) Limit() int64 { return a.limit }
+
+// Reserve charges n tuples to worker w's budget. It reports false — and
+// leaves the usage unchanged — when the reservation would exceed the
+// budget; the caller either spills and retries or fails the run.
+func (a *Accountant) Reserve(w int, n int64) bool {
+	wa := &a.workers[w]
+	used := wa.used.Add(n)
+	if a.limit > 0 && used > a.limit {
+		wa.used.Add(-n)
+		return false
+	}
+	for {
+		p := wa.peak.Load()
+		if used <= p || wa.peak.CompareAndSwap(p, used) {
+			return true
+		}
+	}
+}
+
+// Release returns n tuples of worker w's reservation (a sealed run's
+// worth, typically).
+func (a *Accountant) Release(w int, n int64) {
+	a.workers[w].used.Add(-n)
+}
+
+// Used returns worker w's current reservation.
+func (a *Accountant) Used(w int) int64 { return a.workers[w].used.Load() }
+
+// Peak returns worker w's reservation high-water mark.
+func (a *Accountant) Peak(w int) int64 { return a.workers[w].peak.Load() }
+
+// Peaks returns every worker's high-water mark (a fresh slice).
+func (a *Accountant) Peaks() []int64 {
+	out := make([]int64, len(a.workers))
+	for i := range a.workers {
+		out[i] = a.workers[i].peak.Load()
+	}
+	return out
+}
+
+// Blow records that op tripped worker w's budget; the first operator to
+// blow it wins (later calls are ignored), so error messages name the
+// original culprit rather than a victim of the resulting pressure.
+func (a *Accountant) Blow(w int, op string) {
+	a.workers[w].blown.CompareAndSwap(nil, &op)
+}
+
+// Blown reports whether worker w's budget was blown, and by which
+// operator.
+func (a *Accountant) Blown(w int) (string, bool) {
+	if p := a.workers[w].blown.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// ReserveDisk charges n freshly spilled bytes against the run's disk
+// cap, returning ErrDiskBudget when the cap is exceeded.
+func (a *Accountant) ReserveDisk(n int64) error {
+	used := a.diskUsed.Add(n)
+	if a.diskLimit > 0 && used > a.diskLimit {
+		a.diskUsed.Add(-n)
+		return ErrDiskBudget
+	}
+	return nil
+}
+
+// DiskUsed returns the bytes spilled so far.
+func (a *Accountant) DiskUsed() int64 { return a.diskUsed.Load() }

@@ -1,0 +1,84 @@
+package spill
+
+import (
+	"fmt"
+	"io"
+
+	"parajoin/internal/rel"
+)
+
+// Buffer is a spillable FIFO tuple buffer: the materialization primitive
+// for exchange consumers, StoreAs temps, and root result collection.
+// Unlike Sorter it preserves insertion order — sealed segments replay in
+// seal order, then the in-memory tail.
+type Buffer struct {
+	spiller
+	finished bool
+}
+
+// NewBuffer creates a buffer configured by cfg.
+func NewBuffer(cfg Config) *Buffer {
+	return &Buffer{spiller: spiller{cfg: cfg}}
+}
+
+// Add appends one tuple. The buffer takes ownership.
+func (b *Buffer) Add(t rel.Tuple) error { return b.add(t, false) }
+
+// Finish returns the buffered tuples as a stream in insertion order. The
+// buffer must not be used after Finish.
+func (b *Buffer) Finish() (Stream, error) {
+	if b.finished {
+		return nil, fmt.Errorf("spill: %s: buffer finished twice", b.cfg.Label)
+	}
+	b.finished = true
+	if len(b.segs) == 0 {
+		return &memStream{run: b.run}, nil
+	}
+	// Already on disk: seal the tail too (order preserved — it is the
+	// last segment), releasing its reservation for downstream operators.
+	if err := b.seal(false); err != nil {
+		return nil, err
+	}
+	srcs := make([]source, 0, len(b.segs))
+	for _, seg := range b.segs {
+		r, err := OpenSegment(seg)
+		if err != nil {
+			closeSources(srcs)
+			return nil, err
+		}
+		srcs = append(srcs, r)
+	}
+	return &chainStream{srcs: srcs, total: b.total}, nil
+}
+
+// chainStream concatenates sources back to back.
+type chainStream struct {
+	srcs  []source
+	cur   int
+	total int64
+}
+
+func (c *chainStream) Len() int64 { return c.total }
+
+func (c *chainStream) Next() (rel.Tuple, error) {
+	for c.cur < len(c.srcs) {
+		t, err := c.srcs[c.cur].next()
+		if err == io.EOF {
+			c.cur++
+			continue
+		}
+		return t, err
+	}
+	return nil, io.EOF
+}
+
+func (c *chainStream) Close() error {
+	var first error
+	for _, s := range c.srcs {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.srcs = nil
+	return first
+}

@@ -1,0 +1,52 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Dir is one run's private spill directory. Every segment of the run
+// lives inside it, so cleanup is a single RemoveAll no matter how the run
+// ends — success, error, or cancellation.
+type Dir struct {
+	path    string
+	seq     atomic.Int64
+	removed atomic.Bool
+}
+
+// NewDir creates a fresh run directory under base ("" uses the system
+// temp directory).
+func NewDir(base string) (*Dir, error) {
+	if base == "" {
+		base = os.TempDir()
+	}
+	path, err := os.MkdirTemp(base, "parajoin-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating run directory: %w", err)
+	}
+	counters.dirsCreated.Add(1)
+	counters.activeDirs.Add(1)
+	return &Dir{path: path}, nil
+}
+
+// Path returns the directory's path.
+func (d *Dir) Path() string { return d.path }
+
+// Create opens a fresh segment file inside the directory.
+func (d *Dir) Create() (*os.File, error) {
+	name := filepath.Join(d.path, fmt.Sprintf("seg-%06d.spill", d.seq.Add(1)))
+	return os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+}
+
+// Remove deletes the directory and everything in it. Idempotent; safe to
+// call even while readers still hold open file descriptors (on POSIX the
+// data stays readable until they close).
+func (d *Dir) Remove() error {
+	if d.removed.Swap(true) {
+		return nil
+	}
+	counters.activeDirs.Add(-1)
+	return os.RemoveAll(d.path)
+}

@@ -1,0 +1,147 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"parajoin/internal/rel"
+)
+
+// The segment format: an 8-byte magic, a little-endian uint32 arity, a
+// 4-byte reserved word, then the tuples as consecutive little-endian
+// int64 values. No per-tuple framing — the arity is fixed per segment —
+// so a segment of n arity-k tuples is 16 + 8·k·n bytes. Segments are
+// process-private temp files that never outlive their run, so there is no
+// versioning or checksumming beyond the magic.
+const (
+	segMagic      = "PJSPILL1"
+	segHeaderSize = 16
+)
+
+// segBufSize is the buffered-I/O granularity for segment reads and writes.
+const segBufSize = 64 << 10
+
+// Segment describes one sealed run on disk.
+type Segment struct {
+	Path   string
+	Arity  int
+	Tuples int64
+	Bytes  int64 // file size, header included
+}
+
+// SegmentWriter streams tuples of a fixed arity into a segment file.
+type SegmentWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	arity   int
+	tuples  int64
+	scratch []byte
+}
+
+// NewSegmentWriter wraps f (fresh and empty, normally from Dir.Create)
+// and writes the segment header.
+func NewSegmentWriter(f *os.File, arity int) (*SegmentWriter, error) {
+	if arity <= 0 {
+		return nil, fmt.Errorf("spill: segment arity must be positive, got %d", arity)
+	}
+	w := &SegmentWriter{f: f, bw: bufio.NewWriterSize(f, segBufSize), arity: arity, scratch: make([]byte, 8*arity)}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(arity))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one tuple. The tuple is copied; the caller keeps
+// ownership.
+func (w *SegmentWriter) Write(t rel.Tuple) error {
+	if len(t) != w.arity {
+		return fmt.Errorf("spill: writing arity-%d tuple to arity-%d segment", len(t), w.arity)
+	}
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(w.scratch[8*i:], uint64(v))
+	}
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return err
+	}
+	w.tuples++
+	return nil
+}
+
+// Finish flushes and closes the file, returning the segment descriptor.
+func (w *SegmentWriter) Finish() (*Segment, error) {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	seg := &Segment{
+		Path:   w.f.Name(),
+		Arity:  w.arity,
+		Tuples: w.tuples,
+		Bytes:  segHeaderSize + 8*int64(w.arity)*w.tuples,
+	}
+	counters.segments.Add(1)
+	counters.bytesWritten.Add(seg.Bytes)
+	return seg, nil
+}
+
+// SegmentReader streams a segment's tuples back in write order.
+type SegmentReader struct {
+	f       *os.File
+	br      *bufio.Reader
+	arity   int
+	scratch []byte
+}
+
+// OpenSegment opens seg for reading and validates its header.
+func OpenSegment(seg *Segment) (*SegmentReader, error) {
+	f, err := os.Open(seg.Path)
+	if err != nil {
+		return nil, err
+	}
+	r := &SegmentReader{f: f, br: bufio.NewReaderSize(f, segBufSize)}
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spill: reading segment header of %s: %w", seg.Path, err)
+	}
+	if string(hdr[:8]) != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("spill: %s is not a segment file", seg.Path)
+	}
+	r.arity = int(binary.LittleEndian.Uint32(hdr[8:]))
+	if seg.Arity != 0 && r.arity != seg.Arity {
+		f.Close()
+		return nil, fmt.Errorf("spill: segment %s has arity %d, expected %d", seg.Path, r.arity, seg.Arity)
+	}
+	r.scratch = make([]byte, 8*r.arity)
+	return r, nil
+}
+
+// Next returns the next tuple (freshly allocated), or io.EOF after the
+// last one.
+func (r *SegmentReader) Next() (rel.Tuple, error) {
+	if _, err := io.ReadFull(r.br, r.scratch); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("spill: reading segment %s: %w", r.f.Name(), err)
+	}
+	t := make(rel.Tuple, r.arity)
+	for i := range t {
+		t[i] = int64(binary.LittleEndian.Uint64(r.scratch[8*i:]))
+	}
+	counters.bytesRead.Add(int64(8 * r.arity))
+	return t, nil
+}
+
+// Close closes the underlying file.
+func (r *SegmentReader) Close() error { return r.f.Close() }

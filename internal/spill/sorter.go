@@ -1,0 +1,330 @@
+package spill
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"parajoin/internal/rel"
+)
+
+// Stream yields tuples one at a time; Next returns io.EOF after the
+// last. Streams over spilled state hold open file descriptors until
+// Close.
+type Stream interface {
+	Next() (rel.Tuple, error)
+	// Len is the total number of tuples the stream yields.
+	Len() int64
+	Close() error
+}
+
+// Drain materializes a stream and closes it.
+func Drain(s Stream) ([]rel.Tuple, error) {
+	out := make([]rel.Tuple, 0, s.Len())
+	for {
+		t, err := s.Next()
+		if err == io.EOF {
+			return out, s.Close()
+		}
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// spiller is the run/seal machinery shared by Sorter and Buffer: an
+// in-memory run charged to the accountant, sealed to a segment file when
+// the budget (or the Always threshold) says so.
+type spiller struct {
+	cfg      Config
+	run      []rel.Tuple
+	segs     []*Segment
+	total    int64
+	reserved int64 // tuples of run currently charged to the accountant
+	sealed   int64 // tuples currently on disk
+}
+
+// spillable reports whether this run may seal to disk at all.
+func (s *spiller) spillable() bool {
+	return (s.cfg.Policy == OnPressure || s.cfg.Policy == Always) && s.cfg.Create != nil
+}
+
+// add reserves one tuple and appends it, sealing the current run first
+// when the policy calls for it. sorted runs are sorted before hitting
+// disk (the external-sort invariant).
+func (s *spiller) add(t rel.Tuple, sorted bool) error {
+	if len(t) != s.cfg.Arity {
+		return fmt.Errorf("spill: %s: adding arity-%d tuple to arity-%d run", s.cfg.Label, len(t), s.cfg.Arity)
+	}
+	if s.cfg.Policy == Always && len(s.run) >= s.cfg.sealTuples() {
+		if err := s.seal(sorted); err != nil {
+			return err
+		}
+	}
+	if !s.cfg.Acct.Reserve(s.cfg.Worker, 1) {
+		// Budget pressure. Without a disk escape the run is genuinely out
+		// of memory; otherwise seal what we hold and try again.
+		if !s.spillable() {
+			s.cfg.Acct.Blow(s.cfg.Worker, s.cfg.Label)
+			return ErrBudget
+		}
+		if err := s.seal(sorted); err != nil {
+			return err
+		}
+		if !s.cfg.Acct.Reserve(s.cfg.Worker, 1) {
+			// The whole budget is held by operators that cannot free
+			// anything here. Progress is still possible without growing
+			// resident state: push the tuple through an unreserved
+			// singleton run straight to disk. Degenerate (one segment per
+			// tuple) but bounded — the last resort before failing.
+			s.run = append(s.run, t)
+			s.total++
+			return s.seal(sorted)
+		}
+		s.reserved++
+	} else {
+		s.reserved++
+	}
+	s.run = append(s.run, t)
+	s.total++
+	return nil
+}
+
+// seal writes the in-memory run to a fresh segment and releases its
+// reservation.
+func (s *spiller) seal(sorted bool) error {
+	if len(s.run) == 0 {
+		return nil
+	}
+	start := time.Now()
+	if sorted {
+		sortRun(s.run)
+	}
+	f, err := s.cfg.Create()
+	if err != nil {
+		return err
+	}
+	w, err := NewSegmentWriter(f, s.cfg.Arity)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for _, t := range s.run {
+		if err := w.Write(t); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	if err := s.cfg.Acct.ReserveDisk(seg.Bytes); err != nil {
+		return err
+	}
+	n := int64(len(s.run))
+	s.segs = append(s.segs, seg)
+	s.sealed += n
+	s.cfg.Acct.Release(s.cfg.Worker, s.reserved)
+	s.reserved = 0
+	counters.spills.Add(1)
+	if s.cfg.OnSpill != nil {
+		s.cfg.OnSpill(Event{Label: s.cfg.Label, Tuples: n, Bytes: seg.Bytes, Dur: time.Since(start)})
+	}
+	clear(s.run) // drop tuple references so the GC can collect them
+	s.run = s.run[:0]
+	return nil
+}
+
+// Spilled reports whether any run was sealed to disk.
+func (s *spiller) Spilled() bool { return len(s.segs) > 0 }
+
+// Segments returns how many segment files were written.
+func (s *spiller) Segments() int { return len(s.segs) }
+
+// Len returns the tuples added so far.
+func (s *spiller) Len() int64 { return s.total }
+
+func sortRun(run []rel.Tuple) {
+	sort.Slice(run, func(i, j int) bool { return run[i].Compare(run[j]) < 0 })
+}
+
+// Sorter is an external merge sort: tuples are added in any order, sealed
+// runs are sorted before they hit disk, and Finish returns a k-way merge
+// over the segments plus the residual in-memory run — the exact sequence
+// an in-memory sort of the whole input would produce (lexicographic
+// tuple order; duplicates survive, as Tributary's sorted arrays require).
+type Sorter struct {
+	spiller
+	finished bool
+}
+
+// NewSorter creates a sorter configured by cfg.
+func NewSorter(cfg Config) *Sorter {
+	return &Sorter{spiller: spiller{cfg: cfg}}
+}
+
+// Add inserts one tuple. The sorter takes ownership (the tuple must not
+// be mutated afterwards).
+func (s *Sorter) Add(t rel.Tuple) error { return s.add(t, true) }
+
+// Finish sorts the residual run and returns the merged stream. The
+// sorter must not be used after Finish.
+func (s *Sorter) Finish() (Stream, error) {
+	if s.finished {
+		return nil, fmt.Errorf("spill: %s: sorter finished twice", s.cfg.Label)
+	}
+	s.finished = true
+	if len(s.segs) == 0 {
+		sortRun(s.run)
+		return &memStream{run: s.run}, nil
+	}
+	// Already on disk: seal the residual run too, releasing its
+	// reservation — downstream operators get the budget back and the
+	// merge reads only segments.
+	if err := s.seal(true); err != nil {
+		return nil, err
+	}
+	srcs := make([]source, 0, len(s.segs))
+	for _, seg := range s.segs {
+		r, err := OpenSegment(seg)
+		if err != nil {
+			closeSources(srcs)
+			return nil, err
+		}
+		srcs = append(srcs, r)
+	}
+	return newMergeStream(srcs, s.total)
+}
+
+// ---------------------------------------------------------------- sources
+
+// source is one ordered tuple provider inside a stream.
+type source interface {
+	// next returns the next tuple or io.EOF.
+	next() (rel.Tuple, error)
+	close() error
+}
+
+func closeSources(srcs []source) {
+	for _, s := range srcs {
+		s.close()
+	}
+}
+
+// SegmentReader satisfies source directly.
+func (r *SegmentReader) next() (rel.Tuple, error) { return r.Next() }
+func (r *SegmentReader) close() error             { return r.Close() }
+
+// memStream is the no-spill fast path: the whole (sorted or
+// append-ordered) run is in memory.
+type memStream struct {
+	run []rel.Tuple
+	pos int
+}
+
+func (m *memStream) Next() (rel.Tuple, error) {
+	if m.pos >= len(m.run) {
+		return nil, io.EOF
+	}
+	t := m.run[m.pos]
+	m.pos++
+	return t, nil
+}
+
+func (m *memStream) Len() int64   { return int64(len(m.run)) }
+func (m *memStream) Close() error { return nil }
+
+// ---------------------------------------------------------------- merge
+
+// mergeStream is the k-way merge over sorted sources. Ties break by
+// source index, which keeps the merge deterministic; since ties are
+// whole-tuple equal, the output sequence is identical to an in-memory
+// sort either way.
+type mergeStream struct {
+	h     mergeHeap
+	srcs  []source
+	total int64
+}
+
+type mergeEntry struct {
+	t   rel.Tuple
+	src int
+}
+
+func newMergeStream(srcs []source, total int64) (Stream, error) {
+	m := &mergeStream{srcs: srcs, total: total}
+	for i, s := range srcs {
+		t, err := s.next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			closeSources(srcs)
+			return nil, err
+		}
+		m.h = append(m.h, mergeEntry{t: t, src: i})
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+func (m *mergeStream) Len() int64 { return m.total }
+
+func (m *mergeStream) Next() (rel.Tuple, error) {
+	if len(m.h) == 0 {
+		return nil, io.EOF
+	}
+	top := &m.h[0]
+	out := top.t
+	t, err := m.srcs[top.src].next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&m.h)
+	case err != nil:
+		return nil, err
+	default:
+		top.t = t
+		heap.Fix(&m.h, 0)
+	}
+	return out, nil
+}
+
+func (m *mergeStream) Close() error {
+	var first error
+	for _, s := range m.srcs {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.srcs = nil
+	m.h = nil
+	return first
+}
+
+// mergeHeap implements heap.Interface over the sources' current heads.
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	if c := h[i].t.Compare(h[j].t); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x any) { *h = append(*h, x.(mergeEntry)) }
+
+func (h *mergeHeap) Pop() any {
+	old := *h
+	last := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return last
+}

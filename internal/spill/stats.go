@@ -1,0 +1,43 @@
+package spill
+
+import "sync/atomic"
+
+// counters are the process-wide spill counters behind the
+// parajoin_spill_* expvars (published by internal/debug). They aggregate
+// across every run and cluster in the process.
+var counters struct {
+	spills       atomic.Int64 // runs sealed to disk
+	segments     atomic.Int64 // segment files finished
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+	dirsCreated  atomic.Int64
+	activeDirs   atomic.Int64
+}
+
+// Stats is a snapshot of the process-wide spill counters.
+type Stats struct {
+	// Spills counts in-memory runs sealed to disk.
+	Spills int64
+	// Segments counts segment files written.
+	Segments int64
+	// BytesWritten and BytesRead count segment I/O.
+	BytesWritten int64
+	BytesRead    int64
+	// DirsCreated counts run directories ever made; ActiveDirs is how
+	// many currently exist (should fall back to 0 between runs — a
+	// steady positive value means a cleanup leak).
+	DirsCreated int64
+	ActiveDirs  int64
+}
+
+// ReadStats snapshots the process-wide counters.
+func ReadStats() Stats {
+	return Stats{
+		Spills:       counters.spills.Load(),
+		Segments:     counters.segments.Load(),
+		BytesWritten: counters.bytesWritten.Load(),
+		BytesRead:    counters.bytesRead.Load(),
+		DirsCreated:  counters.dirsCreated.Load(),
+		ActiveDirs:   counters.activeDirs.Load(),
+	}
+}

@@ -34,6 +34,10 @@ const (
 	KindSend Kind = "send"
 	// KindPhase is a Tributary phase ("sort" or "join") on one worker.
 	KindPhase Kind = "phase"
+	// KindSpill marks one in-memory run sealed to disk on one worker:
+	// Name the spilling operator's label, Tuples the tuples sealed, Bytes
+	// the segment size, Dur the sort+write time.
+	KindSpill Kind = "spill"
 	// KindQuery is a serving-layer query span (emitted by internal/server,
 	// not the engine): Name is the lifecycle point ("start") or the outcome
 	// ("ok", "overloaded", "canceled", ...), Run the server's query sequence

@@ -60,6 +60,9 @@ const (
 	CodeDeadline = "deadline"
 	// CodeOOM: the query exceeded its per-worker memory budget.
 	CodeOOM = "oom"
+	// CodeSpillBudget: the query exceeded its hard disk cap on spilled
+	// bytes.
+	CodeSpillBudget = "spill_budget"
 	// CodeClosed: the server's cluster is closed.
 	CodeClosed = "closed"
 	// CodeBadRequest: unparsable rule, unknown relation/strategy/op.
@@ -85,6 +88,13 @@ type Request struct {
 	// TimeoutMillis caps the query's run time; 0 takes the server default,
 	// and the server clamps to its maximum either way.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// BudgetTuples requests a per-worker materialization budget for this
+	// query; 0 takes the server's per-query budget, and the server clamps
+	// to that budget either way (a client cannot outgrow its carve-out).
+	BudgetTuples int64 `json:"budget_tuples,omitempty"`
+	// Spill requests a spill policy ("off", "on-pressure", "always"; ""
+	// takes the server default).
+	Spill string `json:"spill,omitempty"`
 
 	// OpCancel.
 	Target uint64 `json:"target,omitempty"`
@@ -101,6 +111,11 @@ type Stats struct {
 	// QueueWaitNanos is the time the query spent in the admission queue
 	// before a slot freed up — the serving-layer latency component.
 	QueueWaitNanos int64 `json:"queue_wait_ns"`
+	// PeakResidentTuples is the largest per-worker in-memory working set;
+	// SpilledBytes and SpillSegments describe spill-to-disk activity.
+	PeakResidentTuples int64 `json:"peak_resident_tuples,omitempty"`
+	SpilledBytes       int64 `json:"spilled_bytes,omitempty"`
+	SpillSegments      int64 `json:"spill_segments,omitempty"`
 }
 
 // RelationInfo describes one catalog entry.

@@ -104,8 +104,37 @@ func Strategies() []Strategy {
 var ErrClosed = engine.ErrClosed
 
 // ErrOutOfMemory is returned when a query exceeds its per-worker
-// materialization budget (WithMemoryLimit or RunOptions.MaxLocalTuples).
+// materialization budget (WithMemoryLimit or RunOptions.MaxLocalTuples)
+// and spilling is off (or the remaining state cannot spill).
 var ErrOutOfMemory = engine.ErrOutOfMemory
+
+// ErrSpillBudget is returned when a query's spilled bytes exceed the hard
+// disk cap (WithSpillBudget).
+var ErrSpillBudget = engine.ErrSpillBudget
+
+// SpillPolicy decides whether a query over its memory budget degrades to
+// disk or fails.
+type SpillPolicy = engine.SpillPolicy
+
+// The spill policies.
+const (
+	// SpillDefault inherits the enclosing scope's policy (RunOptions →
+	// DB → SpillOff).
+	SpillDefault = engine.SpillDefault
+	// SpillOff fails budget-exceeding queries with ErrOutOfMemory — the
+	// default.
+	SpillOff = engine.SpillOff
+	// SpillOnPressure seals spillable operator state to disk when the
+	// budget is hit, letting the query complete with bounded memory.
+	SpillOnPressure = engine.SpillOnPressure
+	// SpillAlways spills eagerly regardless of pressure (testing / worst-
+	// case rehearsal).
+	SpillAlways = engine.SpillAlways
+)
+
+// ParseSpillPolicy parses "off", "on-pressure", "always", or ""
+// (default).
+func ParseSpillPolicy(s string) (SpillPolicy, error) { return engine.ParseSpillPolicy(s) }
 
 // DB is an in-process shared-nothing parallel database: N workers, each
 // owning a horizontal fragment of every loaded relation.
@@ -137,6 +166,28 @@ func WithMemoryLimit(tuples int64) Option {
 // WithBatchSize sets the exchange/operator batch granularity.
 func WithBatchSize(n int) Option {
 	return func(db *DB) { db.cluster.BatchSize = n }
+}
+
+// WithSpill sets the database-wide spill policy. With SpillOnPressure a
+// query that crosses its memory budget degrades to disk instead of
+// failing: spillable operator state (Tributary sort runs, exchange
+// materializations, result buffers) is sealed to compact segment files
+// and merged back streamingly.
+func WithSpill(p SpillPolicy) Option {
+	return func(db *DB) { db.cluster.SpillPolicy = p }
+}
+
+// WithSpillDir sets the base directory for per-query spill directories
+// ("" uses the system temp directory).
+func WithSpillDir(dir string) Option {
+	return func(db *DB) { db.cluster.SpillDir = dir }
+}
+
+// WithSpillBudget caps the bytes a single query may spill to disk; 0
+// means unlimited. The tuple budget is soft (it degrades to disk); this
+// cap is hard — exceeding it fails the query with ErrSpillBudget.
+func WithSpillBudget(bytes int64) Option {
+	return func(db *DB) { db.cluster.MaxSpillBytes = bytes }
 }
 
 // WithSeed seeds the variable-order sampling for reproducible plans.
@@ -257,6 +308,9 @@ func (db *DB) Cardinality(name string) int {
 // carve per-query budgets.
 func (db *DB) MemoryLimit() int64 { return db.cluster.MaxLocalTuples }
 
+// Spill returns the database-wide spill policy set by WithSpill.
+func (db *DB) Spill() SpillPolicy { return db.cluster.SpillPolicy }
+
 // Code returns the int64 code of a string value, assigning one if new.
 // String constants in query rules are encoded with the same dictionary, so
 // values loaded through Code match constants written in rules.
@@ -352,6 +406,12 @@ type RunOptions struct {
 	// lifts the cap. The serving layer uses it to carve per-query budgets
 	// out of the cluster-wide budget.
 	MaxLocalTuples int64
+	// Spill overrides the database's spill policy for this query;
+	// SpillDefault inherits.
+	Spill SpillPolicy
+	// MaxSpillBytes overrides the database's per-query spilled-bytes cap:
+	// 0 inherits, a negative value lifts the cap.
+	MaxSpillBytes int64
 }
 
 func (o RunOptions) strategy() Strategy {
@@ -362,7 +422,11 @@ func (o RunOptions) strategy() Strategy {
 }
 
 func (o RunOptions) engineOpts() engine.RunOpts {
-	return engine.RunOpts{MaxLocalTuples: o.MaxLocalTuples}
+	return engine.RunOpts{
+		MaxLocalTuples: o.MaxLocalTuples,
+		Spill:          o.Spill,
+		MaxSpillBytes:  o.MaxSpillBytes,
+	}
 }
 
 // RunWith evaluates the query with an explicit strategy.
@@ -399,6 +463,7 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 			Workers:         db.workers,
 		},
 	}
+	result.Stats.spillStats(report)
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
 	}
@@ -462,6 +527,7 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 		TuplesShuffled:  report.TotalTuplesShuffled(),
 		MaxConsumerSkew: report.MaxConsumerSkew(),
 	}
+	st.spillStats(report)
 	return total, st, nil
 }
 
@@ -486,6 +552,24 @@ type Stats struct {
 	HyperCubeShares string
 	// VariableOrder is the Tributary join's global attribute order.
 	VariableOrder []string
+	// PeakResidentTuples is the largest per-worker in-memory working set
+	// the query held at once (reservation high-water mark).
+	PeakResidentTuples int64
+	// SpilledBytes and SpillSegments describe the query's spill-to-disk
+	// activity; both zero when nothing spilled.
+	SpilledBytes  int64
+	SpillSegments int64
+}
+
+// spillStats copies the report's spill counters into a Stats value.
+func (s *Stats) spillStats(report *engine.Report) {
+	for _, p := range report.PeakResidentTuples {
+		if p > s.PeakResidentTuples {
+			s.PeakResidentTuples = p
+		}
+	}
+	s.SpilledBytes = report.SpilledBytes
+	s.SpillSegments = report.SpillSegments
 }
 
 // chooseStrategy applies the paper's Table-6 conclusion: when the regular
