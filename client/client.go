@@ -44,6 +44,9 @@ var (
 	ErrSpillBudget = errors.New("parajoind: query exceeded spill disk budget")
 	// ErrServerClosed: the server's engine cluster is closed.
 	ErrServerClosed = errors.New("parajoind: server closed")
+	// ErrRetriesExhausted: the query kept failing with retryable transport
+	// errors and the server's automatic re-execution budget ran out.
+	ErrRetriesExhausted = errors.New("parajoind: transport retry budget exhausted")
 	// ErrConnClosed: this client's connection is gone (Close was called or
 	// the server went away); in-flight and future calls fail with it.
 	ErrConnClosed = errors.New("parajoind: connection closed")
@@ -70,6 +73,8 @@ func (e *ServerError) Unwrap() error {
 		return ErrSpillBudget
 	case wire.CodeClosed:
 		return ErrServerClosed
+	case wire.CodeRetriesExhausted:
+		return ErrRetriesExhausted
 	case wire.CodeCanceled:
 		return context.Canceled
 	case wire.CodeDeadline:
@@ -136,6 +141,11 @@ type Stats struct {
 	PeakResidentTuples int64
 	SpilledBytes       int64
 	SpillSegments      int64
+	// Attempts is how many times the server executed the query (> 1 when it
+	// was automatically re-run after a retryable transport failure);
+	// RetryCause is the last error that triggered a re-execution.
+	Attempts   int64
+	RetryCause string
 }
 
 // Result is a query's rows plus its stats.
@@ -348,6 +358,8 @@ func statsOf(w *wire.Stats) Stats {
 		PeakResidentTuples: w.PeakResidentTuples,
 		SpilledBytes:       w.SpilledBytes,
 		SpillSegments:      w.SpillSegments,
+		Attempts:           w.Attempts,
+		RetryCause:         w.RetryCause,
 	}
 }
 

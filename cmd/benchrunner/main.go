@@ -18,6 +18,7 @@ import (
 	"parajoin/internal/debug"
 	"parajoin/internal/engine"
 	"parajoin/internal/experiments"
+	"parajoin/internal/fault"
 	"parajoin/internal/planner"
 	"parajoin/internal/trace"
 )
@@ -139,6 +140,7 @@ func main() {
 		spillMode = flag.String("spill", "", "spill-to-disk policy: off, on-pressure, always (default: off)")
 		jsonPath  = flag.String("json", "", "write every run's full report as JSON to this file (- for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
+		chaos     = flag.String("chaos", "", "deterministic fault-injection plan, e.g. 'seed=1;stall:prob=0.01,delay=5ms' (see internal/fault)")
 
 		concurrency   = flag.Int("concurrency", 0, "serve the workload and replay it with this many parallel clients (skips -exp)")
 		rounds        = flag.Int("rounds", 3, "with -concurrency: workload replays per client")
@@ -168,6 +170,14 @@ func main() {
 			log.Fatalf("-spill: %v", err)
 		}
 		suite.Spill = p
+	}
+	if *chaos != "" {
+		plan, err := fault.ParsePlan(*chaos)
+		if err != nil {
+			log.Fatalf("-chaos: %v", err)
+		}
+		suite.FaultPlan = plan
+		fmt.Printf("chaos: injecting faults per plan %s\n", plan)
 	}
 	suite.Record = *jsonPath != ""
 	if *debugAddr != "" {

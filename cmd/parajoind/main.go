@@ -30,6 +30,7 @@ import (
 
 	"parajoin"
 	"parajoin/internal/debug"
+	"parajoin/internal/fault"
 	"parajoin/internal/server"
 	"parajoin/internal/trace"
 )
@@ -61,6 +62,9 @@ func main() {
 		seed          = flag.Int64("seed", 1, "planner sampling seed")
 		debugAddr     = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 		traceFile     = flag.String("trace", "", "append query + engine trace events to this JSONL file")
+		retryBudget   = flag.Int("retry-budget", 2, "automatic re-executions after a retryable transport failure (0 or negative disables)")
+		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before the first re-execution, doubling per retry")
+		faultPlan     = flag.String("fault-plan", "", "deterministic fault-injection plan for chaos testing, e.g. 'seed=1;drop:exchange=0,nth=3' (see internal/fault)")
 	)
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a relation, name=file.csv (repeatable)")
@@ -105,6 +109,14 @@ func main() {
 	if tracer != nil {
 		opts = append(opts, parajoin.WithTracer(tracer))
 	}
+	if *faultPlan != "" {
+		plan, err := fault.ParsePlan(*faultPlan)
+		if err != nil {
+			log.Fatalf("-fault-plan: %v", err)
+		}
+		opts = append(opts, parajoin.WithFaultPlan(plan))
+		log.Printf("chaos: injecting faults per plan %s", plan)
+	}
 	db := parajoin.Open(*workers, opts...)
 	defer db.Close()
 
@@ -129,6 +141,11 @@ func main() {
 		log.Printf("debug endpoints on http://%s/debug/", got)
 	}
 
+	// Config's zero value means "server default"; the flag's 0 means "off".
+	budget := *retryBudget
+	if budget <= 0 {
+		budget = -1
+	}
 	srv := server.New(db, server.Config{
 		MaxConcurrent:     *maxConcurrent,
 		MaxQueue:          *maxQueue,
@@ -138,6 +155,8 @@ func main() {
 		PerQueryMemTuples: *perQueryMem,
 		Spill:             spillPolicy,
 		Tracer:            tracer,
+		RetryBudget:       budget,
+		RetryBackoff:      *retryBackoff,
 	})
 
 	// Graceful drain on SIGINT/SIGTERM; a second signal aborts it.

@@ -422,6 +422,18 @@ func spillNote(bytes, segments int64) string {
 	return fmt.Sprintf(" spilled=%dB/%dseg", bytes, segments)
 }
 
+// attemptNote renders the server's automatic re-executions for result
+// lines; empty on first-attempt successes (the overwhelmingly common case).
+func attemptNote(attempts int64, cause string) string {
+	if attempts <= 1 {
+		return ""
+	}
+	if cause != "" {
+		return fmt.Sprintf(" attempts=%d (retried: %s)", attempts, cause)
+	}
+	return fmt.Sprintf(" attempts=%d", attempts)
+}
+
 // runRemote evaluates a rule on the connected parajoind server.
 func (sh *shell) runRemote(rule string, countOnly bool) error {
 	ctx := context.Background()
@@ -430,9 +442,10 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d%s [%s]\n",
+		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d%s%s [%s]\n",
 			n, st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
-			st.TuplesShuffled, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy)
+			st.TuplesShuffled, spillNote(st.SpilledBytes, st.SpillSegments),
+			attemptNote(st.Attempts, st.RetryCause), st.Strategy)
 		return nil
 	}
 	res, err := sh.remote.Run(ctx, rule, sh.queryOptions())
@@ -440,9 +453,10 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s [%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s%s [%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
-		st.TuplesShuffled, st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy)
+		st.TuplesShuffled, st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments),
+		attemptNote(st.Attempts, st.RetryCause), st.Strategy)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil

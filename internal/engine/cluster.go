@@ -152,6 +152,14 @@ func (c *Cluster) Workers() int { return c.workers }
 // Transport returns the cluster's transport.
 func (c *Cluster) Transport() Transport { return c.transport }
 
+// WrapTransport replaces the cluster's transport with wrap(current) — the
+// hook fault injection uses to interpose on every Send/Recv/CloseSend.
+// Call it before the first run; the wrapper owns the original's lifecycle
+// (Close must forward).
+func (c *Cluster) WrapTransport(wrap func(Transport) Transport) {
+	c.transport = wrap(c.transport)
+}
+
 // Load round-robin-partitions r across the workers under r's name — the
 // initial placement used for every base relation in the paper's
 // experiments. Safe to call while queries run: a run that already opened

@@ -318,7 +318,7 @@ func noDuplicateColumns(s rel.Schema) error {
 
 // runExchange drains the exchange's input tree on one worker and routes
 // every tuple to its destinations.
-func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
+func (e *exec) runExchange(spec *ExchangeSpec, w int) (retErr error) {
 	t := &task{ex: e, worker: w, exchange: spec.ID}
 	start := time.Now()
 	var sent int64
@@ -333,8 +333,14 @@ func (e *exec) runExchange(spec *ExchangeSpec, w int) error {
 	}()
 	// Always announce end-of-stream, even on failure, so consumers blocked
 	// on Recv terminate (the run context also cancels them, belt and
-	// braces).
-	defer e.transport.CloseSend(e.ctx, e.wireID(spec.ID), w)
+	// braces). A failed close is a real failure — consumers would wait for
+	// an end-of-stream that never comes — so it fails the run unless the
+	// run already failed for a better reason.
+	defer func() {
+		if err := e.transport.CloseSend(e.ctx, e.wireID(spec.ID), w); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	in, err := e.compile(spec.Input, t)
 	if err != nil {

@@ -107,6 +107,14 @@ var live struct {
 	bytesSent      atomic.Int64
 	bytesRecv      atomic.Int64
 	queueDepth     atomic.Int64
+	// TCP self-healing counters: reconnects after peer loss, frames
+	// replayed from the unacked buffer, duplicate frames the receiver's
+	// dedup dropped, and heartbeat outcomes.
+	netReconnects       atomic.Int64
+	netFramesResent     atomic.Int64
+	netDupFramesDropped atomic.Int64
+	netHeartbeats       atomic.Int64
+	netHeartbeatMisses  atomic.Int64
 }
 
 // LiveStats is a snapshot of the process-wide engine counters.
@@ -121,21 +129,32 @@ type LiveStats struct {
 	BytesSent       int64
 	BytesReceived   int64
 	QueueDepth      int64
+	// TCP transport self-healing activity (zero on in-memory transports).
+	NetReconnects       int64
+	NetFramesResent     int64
+	NetDupFramesDropped int64
+	NetHeartbeats       int64
+	NetHeartbeatMisses  int64
 }
 
 // ReadLiveStats snapshots the live counters (the debug package publishes it
 // as an expvar).
 func ReadLiveStats() LiveStats {
 	return LiveStats{
-		RunsStarted:     live.runsStarted.Load(),
-		RunsCompleted:   live.runsCompleted.Load(),
-		RunsActive:      live.activeRuns.Load(),
-		TuplesSent:      live.tuplesSent.Load(),
-		TuplesReceived:  live.tuplesReceived.Load(),
-		BatchesSent:     live.batchesSent.Load(),
-		BatchesReceived: live.batchesRecv.Load(),
-		BytesSent:       live.bytesSent.Load(),
-		BytesReceived:   live.bytesRecv.Load(),
-		QueueDepth:      live.queueDepth.Load(),
+		RunsStarted:         live.runsStarted.Load(),
+		RunsCompleted:       live.runsCompleted.Load(),
+		RunsActive:          live.activeRuns.Load(),
+		TuplesSent:          live.tuplesSent.Load(),
+		TuplesReceived:      live.tuplesReceived.Load(),
+		BatchesSent:         live.batchesSent.Load(),
+		BatchesReceived:     live.batchesRecv.Load(),
+		BytesSent:           live.bytesSent.Load(),
+		BytesReceived:       live.bytesRecv.Load(),
+		QueueDepth:          live.queueDepth.Load(),
+		NetReconnects:       live.netReconnects.Load(),
+		NetFramesResent:     live.netFramesResent.Load(),
+		NetDupFramesDropped: live.netDupFramesDropped.Load(),
+		NetHeartbeats:       live.netHeartbeats.Load(),
+		NetHeartbeatMisses:  live.netHeartbeatMisses.Load(),
 	}
 }

@@ -8,12 +8,39 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"parajoin/internal/rel"
 )
+
+// ErrTransport marks transport-layer failures: dials, writes, and peer loss
+// that survived the transport's own repair budget (reconnect + resend).
+// Errors wrapping it are retryable — the HyperCube shuffle is a single
+// communication round, so a failed run left no state behind and can simply
+// be re-executed from base relations.
+var ErrTransport = errors.New("engine: transport failure")
+
+// Retryable classifies a run error for query-level recovery: transport
+// failures are retryable, while resource exhaustion (memory, disk),
+// cancellation, deadline expiry, and cluster closure are terminal — retrying
+// those would either fail identically or override a caller's decision.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrOutOfMemory),
+		errors.Is(err, ErrSpillBudget),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return false
+	}
+	return errors.Is(err, ErrTransport)
+}
 
 // Transport moves tuple batches between workers. Implementations must allow
 // concurrent use from all workers. Queues are unbounded: a producer never
@@ -68,6 +95,14 @@ type EpochReleaser interface {
 // exec.wireID: epoch<<20 | planExchangeID).
 func wireEpoch(exchangeID int) int64 {
 	return int64(exchangeID >> 20)
+}
+
+// PlanExchangeID recovers the plan-local exchange id from a transport-level
+// id — the inverse of the epoch namespacing exec.wireID applies. Fault
+// plans select exchanges by plan-local id so a rule stays valid across
+// re-executions (each retry runs in a fresh epoch).
+func PlanExchangeID(exchangeID int) int {
+	return exchangeID & (1<<20 - 1)
 }
 
 // transportCounters is the shared TransportMeter implementation.
@@ -166,8 +201,15 @@ func (q *memQueue) closeOne() {
 	q.cond.Broadcast()
 }
 
+// errRecvInterrupted is pop's wait-aborted error. It wraps
+// context.Canceled (so cancellation filters still match) but is distinct
+// from a bare context error: Recv replaces it with the context's actual
+// cancellation cause, which is what lets Report and the server's error
+// codes tell a client cancel from a transport failure or a Close.
+var errRecvInterrupted = fmt.Errorf("engine: recv interrupted: %w", context.Canceled)
+
 // pop blocks until a batch is available or all producers closed. The done
-// channel aborts the wait.
+// channel aborts the wait with errRecvInterrupted.
 func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -185,11 +227,22 @@ func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
 		}
 		select {
 		case <-done:
-			return nil, false, context.Canceled
+			return nil, false, errRecvInterrupted
 		default:
 		}
 		q.cond.Wait()
 	}
+}
+
+// recvErr translates pop's abort into the receiving context's cancellation
+// cause: a client cancel, a deadline, a Close (ErrClosed), or a transport
+// failure that canceled the run all surface as themselves instead of as an
+// anonymous context.Canceled.
+func recvErr(ctx context.Context, err error) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return err
 }
 
 // MemTransport is the in-process Transport: one unbounded queue per
@@ -257,10 +310,7 @@ func (t *MemTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 	defer stop()
 	b, ok, err := q.pop(ctx.Done())
 	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, false, cerr
-		}
-		return nil, false, err
+		return nil, false, recvErr(ctx, err)
 	}
 	if ok {
 		t.countReceived(1, batchWireBytes(b))
@@ -289,6 +339,19 @@ func (t *MemTransport) ReleaseEpoch(epoch int64) {
 		}
 		delete(t.queues, id)
 	}
+}
+
+// QueueCount reports the number of live inbox queues — introspection for
+// leak checks: after every run has finished and released its epoch it
+// should be zero.
+func (t *MemTransport) QueueCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, qs := range t.queues {
+		n += len(qs)
+	}
+	return n
 }
 
 // Close implements Transport.

@@ -20,6 +20,7 @@ import (
 	"parajoin/internal/core"
 	"parajoin/internal/dataset"
 	"parajoin/internal/engine"
+	"parajoin/internal/fault"
 	"parajoin/internal/ljoin"
 	"parajoin/internal/planner"
 	"parajoin/internal/queries"
@@ -51,6 +52,11 @@ type Suite struct {
 	// Tracer, when set, traces every run on the suite's clusters (set it
 	// before the first Cluster call).
 	Tracer *trace.Tracer
+	// FaultPlan, when set, wraps every cluster's transport in a
+	// deterministic fault injector (set it before the first Cluster call) —
+	// benchrunner's -chaos mode. Runs that hit an injected fault report the
+	// transport error; stall rules only perturb timing.
+	FaultPlan *fault.Plan
 	// Record keeps a RecordedOutcome per executed run, retrievable with
 	// Outcomes — the data behind benchrunner's -json report.
 	Record bool
@@ -122,6 +128,12 @@ func (s *Suite) Cluster(n int) *engine.Cluster {
 		c.Tracer = s.Tracer
 		for _, r := range w.Relations {
 			c.Load(r)
+		}
+		if s.FaultPlan != nil {
+			inj := s.FaultPlan.NewInjector()
+			c.WrapTransport(func(t engine.Transport) engine.Transport {
+				return fault.Wrap(t, inj)
+			})
 		}
 		s.clusters[n] = c
 	}

@@ -1,0 +1,383 @@
+// Package fault is parajoin's deterministic fault-injection subsystem. A
+// Plan is a seeded list of rules — connection drops, receive errors,
+// latency stalls, worker crash-at-barrier events — selectable by exchange,
+// worker, and nth matching call. An Injector evaluates the plan against a
+// stream of transport operations with no wall-clock or global randomness in
+// the hot path: every probabilistic decision is a pure hash of (seed, rule,
+// exchange, worker, call number), so the same plan against the same
+// execution produces the same faults, run after run, process after process.
+//
+// Plans wrap a cluster's Transport (see Wrap) and are usable from three
+// entry points: engine/server tests, `benchrunner -chaos <spec>`, and the
+// `parajoind -fault-plan <spec>` dev flag.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is a fault category.
+type Kind string
+
+// The fault kinds an Injector can produce.
+const (
+	// KindDrop fails a Send — the wire analogue of a dropped connection or
+	// a write into a dead peer.
+	KindDrop Kind = "drop"
+	// KindRecvErr fails a Recv on the consuming worker.
+	KindRecvErr Kind = "recv-err"
+	// KindStall delays a Send by the rule's Delay — a latency spike or a
+	// straggler link, not an error.
+	KindStall Kind = "stall"
+	// KindCrash fails a CloseSend — the worker "dies at the barrier" after
+	// producing data but before announcing end-of-stream, the classic
+	// partial-failure the paper's single-round model makes recoverable.
+	KindCrash Kind = "crash"
+)
+
+// Rule selects a stream of transport calls and decides which of them fault.
+// A stream is the sequence of matching calls with one specific (exchange,
+// worker) pair; call numbers count per stream, so "nth=2" means "the second
+// send this worker makes on this exchange", deterministically, regardless
+// of goroutine interleaving across streams.
+type Rule struct {
+	// Kind is the fault to inject.
+	Kind Kind
+	// Exchange selects a plan-local exchange id; -1 (the default in
+	// ParsePlan) matches every exchange.
+	Exchange int
+	// Worker selects the calling worker — the producer for drop/stall/
+	// crash, the consumer for recv-err; -1 matches every worker.
+	Worker int
+	// Nth, when > 0, fires on the nth matching call of each stream (1-based)
+	// and the Count-1 calls after it. When 0 the rule is probabilistic.
+	Nth int
+	// Prob, used when Nth == 0, is the per-call firing probability, decided
+	// by a pure hash of (seed, rule, exchange, worker, n).
+	Prob float64
+	// Count caps firings per stream: Nth rules default to 1, probabilistic
+	// rules to unlimited.
+	Count int
+	// Delay is the stall duration (KindStall only).
+	Delay time.Duration
+}
+
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(string(r.Kind))
+	sep := ":"
+	field := func(k, v string) {
+		b.WriteString(sep)
+		sep = ","
+		b.WriteString(k + "=" + v)
+	}
+	if r.Exchange >= 0 {
+		field("exchange", strconv.Itoa(r.Exchange))
+	}
+	if r.Worker >= 0 {
+		field("worker", strconv.Itoa(r.Worker))
+	}
+	if r.Nth > 0 {
+		field("nth", strconv.Itoa(r.Nth))
+	}
+	if r.Prob > 0 {
+		field("prob", strconv.FormatFloat(r.Prob, 'g', -1, 64))
+	}
+	if r.Count > 0 {
+		field("count", strconv.Itoa(r.Count))
+	}
+	if r.Delay > 0 {
+		field("delay", r.Delay.String())
+	}
+	return b.String()
+}
+
+// Plan is a seeded set of fault rules. The zero Plan injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision; two injectors built from
+	// equal plans make identical choices.
+	Seed  int64
+	Rules []Rule
+}
+
+// String renders the plan in the spec grammar ParsePlan accepts.
+func (p *Plan) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	for _, r := range p.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParsePlan parses a fault-plan spec of semicolon-separated clauses:
+//
+//	seed=42;drop:exchange=0,worker=1,nth=3;stall:prob=0.01,delay=5ms;crash:worker=2,nth=1
+//
+// Each clause is either "seed=N" or "<kind>:<field>=<value>,...". Fields are
+// exchange, worker, nth, count (integers), prob (float in (0,1]), and delay
+// (a Go duration). Omitted exchange/worker match everything.
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		kind, params, _ := strings.Cut(clause, ":")
+		r := Rule{Kind: Kind(kind), Exchange: -1, Worker: -1}
+		switch r.Kind {
+		case KindDrop, KindRecvErr, KindStall, KindCrash:
+		default:
+			return nil, fmt.Errorf("fault: unknown kind %q (want drop, recv-err, stall, or crash)", kind)
+		}
+		if params != "" {
+			for _, kv := range strings.Split(params, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: %s: parameter %q is not key=value", kind, kv)
+				}
+				var err error
+				switch key {
+				case "exchange":
+					r.Exchange, err = strconv.Atoi(val)
+				case "worker":
+					r.Worker, err = strconv.Atoi(val)
+				case "nth":
+					r.Nth, err = strconv.Atoi(val)
+				case "count":
+					r.Count, err = strconv.Atoi(val)
+				case "prob":
+					r.Prob, err = strconv.ParseFloat(val, 64)
+				case "delay":
+					r.Delay, err = time.ParseDuration(val)
+				default:
+					return nil, fmt.Errorf("fault: %s: unknown parameter %q", kind, key)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("fault: %s: bad %s %q: %v", kind, key, val, err)
+				}
+			}
+		}
+		if err := validate(r); err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, errors.New("fault: plan has no rules")
+	}
+	return p, nil
+}
+
+func validate(r Rule) error {
+	switch {
+	case r.Nth < 0:
+		return fmt.Errorf("fault: %s: nth must be >= 1, got %d", r.Kind, r.Nth)
+	case r.Nth > 0 && r.Prob != 0:
+		return fmt.Errorf("fault: %s: nth and prob are mutually exclusive", r.Kind)
+	case r.Nth == 0 && (r.Prob <= 0 || r.Prob > 1):
+		return fmt.Errorf("fault: %s: need nth >= 1 or prob in (0,1], got prob=%g", r.Kind, r.Prob)
+	case r.Kind == KindStall && r.Delay <= 0:
+		return fmt.Errorf("fault: stall needs delay > 0")
+	case r.Kind != KindStall && r.Delay != 0:
+		return fmt.Errorf("fault: %s: delay applies to stall only", r.Kind)
+	case r.Count < 0:
+		return fmt.Errorf("fault: %s: count must be >= 0, got %d", r.Kind, r.Count)
+	}
+	return nil
+}
+
+// NewInjector builds an injector evaluating this plan. Each injector keeps
+// its own per-stream call counters, so one plan can drive several
+// independent clusters.
+func (p *Plan) NewInjector() *Injector {
+	return &Injector{
+		plan:  p,
+		calls: make(map[streamKey]int64),
+		fired: make(map[streamKey]int64),
+		stats: make(map[Kind]int64),
+	}
+}
+
+// streamKey identifies one rule's call stream: matching calls with the same
+// (exchange, worker) count together.
+type streamKey struct {
+	rule     int
+	exchange int
+	worker   int
+}
+
+// Injector evaluates a Plan against transport calls. Safe for concurrent
+// use; decisions are deterministic per stream (see Rule).
+type Injector struct {
+	plan *Plan
+
+	mu    sync.Mutex
+	calls map[streamKey]int64
+	fired map[streamKey]int64
+	stats map[Kind]int64
+}
+
+// ErrInjected marks a synthetic failure produced by an Injector. Transport
+// wrappers additionally wrap it in engine.ErrTransport so the recovery
+// classifier treats injected faults exactly like real ones.
+var ErrInjected = errors.New("fault: injected")
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap, high-
+// quality mixing function; used here as a stateless hash so probabilistic
+// decisions need no shared generator state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll is the deterministic coin flip: uniform in [0,1) as a pure function
+// of the plan seed and the call's stream coordinates.
+func (i *Injector) roll(k streamKey, n int64) float64 {
+	h := splitmix64(uint64(i.plan.Seed))
+	h = splitmix64(h ^ uint64(k.rule+1))
+	h = splitmix64(h ^ uint64(k.exchange+1))
+	h = splitmix64(h ^ uint64(k.worker+1))
+	h = splitmix64(h ^ uint64(n))
+	return float64(h>>11) / (1 << 53)
+}
+
+// decide runs one call with coordinates (exchange, worker) past every rule
+// of the wanted kinds and returns the rules that fire, in plan order.
+func (i *Injector) decide(exchange, worker int, kinds ...Kind) []Rule {
+	var out []Rule
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for ri, r := range i.plan.Rules {
+		wanted := false
+		for _, k := range kinds {
+			wanted = wanted || r.Kind == k
+		}
+		if !wanted {
+			continue
+		}
+		if r.Exchange >= 0 && r.Exchange != exchange {
+			continue
+		}
+		if r.Worker >= 0 && r.Worker != worker {
+			continue
+		}
+		k := streamKey{ri, exchange, worker}
+		n := i.calls[k] + 1
+		i.calls[k] = n
+		fire := false
+		if r.Nth > 0 {
+			count := int64(r.Count)
+			if count == 0 {
+				count = 1
+			}
+			fire = n >= int64(r.Nth) && n < int64(r.Nth)+count
+		} else {
+			fire = i.roll(k, n) < r.Prob
+			if fire && r.Count > 0 && i.fired[k] >= int64(r.Count) {
+				fire = false
+			}
+		}
+		if fire {
+			i.fired[k]++
+			i.stats[r.Kind]++
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Send evaluates drop and stall rules for one Send call by worker src on a
+// plan-local exchange. It returns the accumulated stall delay (0 when none
+// fired) and the injected error (nil when none fired); both can be nonzero
+// at once — the wrapper stalls first, then fails.
+func (i *Injector) Send(exchange, src int) (time.Duration, error) {
+	var delay time.Duration
+	var err error
+	for _, r := range i.decide(exchange, src, KindDrop, KindStall) {
+		switch r.Kind {
+		case KindStall:
+			delay += r.Delay
+		case KindDrop:
+			if err == nil {
+				err = fmt.Errorf("%w: drop (exchange %d, worker %d)", ErrInjected, exchange, src)
+			}
+		}
+	}
+	return delay, err
+}
+
+// CloseSend evaluates crash rules for one CloseSend call — the worker
+// crashing at the barrier instead of announcing end-of-stream.
+func (i *Injector) CloseSend(exchange, src int) error {
+	for _, r := range i.decide(exchange, src, KindCrash) {
+		_ = r
+		return fmt.Errorf("%w: crash at barrier (exchange %d, worker %d)", ErrInjected, exchange, src)
+	}
+	return nil
+}
+
+// Recv evaluates recv-err rules for one Recv call by consumer dst.
+func (i *Injector) Recv(exchange, dst int) error {
+	for _, r := range i.decide(exchange, dst, KindRecvErr) {
+		_ = r
+		return fmt.Errorf("%w: recv error (exchange %d, worker %d)", ErrInjected, exchange, dst)
+	}
+	return nil
+}
+
+// Injected reports how many faults fired, by kind.
+func (i *Injector) Injected() map[Kind]int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Kind]int64, len(i.stats))
+	for k, v := range i.stats {
+		out[k] = v
+	}
+	return out
+}
+
+// InjectedTotal reports the total number of faults fired.
+func (i *Injector) InjectedTotal() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var n int64
+	for _, v := range i.stats {
+		n += v
+	}
+	return n
+}
+
+// String summarizes the injector's activity ("drop=2 stall=17").
+func (i *Injector) String() string {
+	counts := i.Injected()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for j, k := range kinds {
+		parts[j] = fmt.Sprintf("%s=%d", k, counts[Kind(k)])
+	}
+	if len(parts) == 0 {
+		return "no faults injected"
+	}
+	return strings.Join(parts, " ")
+}

@@ -42,7 +42,7 @@ var ErrDraining = errors.New("server: draining, not admitting new queries")
 // gate is the admission controller: at most maxConcurrent holders at once,
 // at most maxQueue goroutines waiting, each waiting at most maxWait.
 type gate struct {
-	slots   chan struct{} // capacity maxConcurrent, holds free slots
+	slots    chan struct{} // capacity maxConcurrent, holds free slots
 	maxQueue int
 	maxWait  time.Duration
 

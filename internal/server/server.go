@@ -55,6 +55,17 @@ type Config struct {
 	// inherits the DB's. Clients may override per query with the request's
 	// spill field.
 	Spill parajoin.SpillPolicy
+	// RetryBudget is how many automatic re-executions a query gets after a
+	// retryable transport failure (default 2; negative disables retries).
+	// HyperCube execution is single-round and stateless between runs, so
+	// re-running the whole query is the paper-faithful recovery mechanism —
+	// no checkpoints, no partial restarts. Terminal failures (out of
+	// memory, spill budget, client cancel, deadline) are never retried.
+	RetryBudget int
+	// RetryBackoff is the pause before the first re-execution, doubling
+	// each retry (default 50ms, capped at 2s). The query's deadline keeps
+	// running during backoff.
+	RetryBackoff time.Duration
 	// Tracer receives a KindQuery span per query (admission outcome,
 	// latency, rows). Nil disables serving-layer tracing.
 	Tracer *trace.Tracer
@@ -78,6 +89,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * c.DefaultTimeout
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = -1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -312,6 +332,11 @@ func (ss *session) fail(id uint64, code string, err error) {
 // cancellations in trace output; both map to CodeCanceled on the wire.
 var errCanceledByClient = errors.New("server: canceled by client")
 
+// ErrRetriesExhausted is returned when a query keeps failing with retryable
+// transport errors and the automatic re-execution budget (Config.
+// RetryBudget) runs out. It wraps the last underlying failure.
+var ErrRetriesExhausted = errors.New("server: transport retry budget exhausted")
+
 func (ss *session) dispatch(req *wire.Request) {
 	srv := ss.srv
 	switch req.Op {
@@ -414,25 +439,32 @@ func parseStrategy(name string) (parajoin.Strategy, error) {
 	return "", fmt.Errorf("unknown strategy %q", name)
 }
 
-// query runs one of the evaluation ops through the admission gate.
+// retryBackoffCap bounds the exponential retry backoff.
+const retryBackoffCap = 2 * time.Second
+
+// query runs one of the evaluation ops through the admission gate,
+// automatically re-executing on retryable transport failures. Each attempt
+// re-enters the gate, so a retrying query queues behind other admitted work
+// instead of squatting on a slot through its backoff pauses.
 func (ss *session) query(req *wire.Request) {
 	srv := ss.srv
 	seq := srv.querySeq.Add(1)
 	start := time.Now()
+	attempts := int64(0)
 	srv.cfg.Tracer.Emit(trace.Event{
 		Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1, Name: "start",
 	})
 	outcome := func(name string, rows int64) {
 		srv.cfg.Tracer.Emit(trace.Event{
 			Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1,
-			Name: name, Tuples: rows, Dur: time.Since(start),
+			Name: name, Tuples: rows, Dur: time.Since(start), Attempts: attempts,
 		})
 		srv.cfg.Tracer.Flush()
 	}
 
 	// Per-query deadline and cancellation: the context dies when the client
 	// cancels (OpCancel), the connection drops, the deadline passes, or the
-	// server hard-stops.
+	// server hard-stops. One deadline spans every attempt, backoffs included.
 	ctx, cancel := context.WithCancelCause(ss.ctx)
 	defer cancel(nil)
 	runCtx, cancelTimeout := context.WithTimeout(ctx, srv.timeoutFor(req))
@@ -446,18 +478,8 @@ func (ss *session) query(req *wire.Request) {
 		ss.mu.Unlock()
 	}()
 
-	// Admission: a free slot, a bounded FIFO wait, or a typed rejection.
-	release, waited, err := ss.srv.gate.acquire(runCtx)
-	if err != nil {
-		code := errCode(err)
-		outcome(code, 0)
-		ss.fail(req.ID, code, err)
-		return
-	}
-	// Released after the response is written, so a drained server implies
-	// every admitted query's response reached its connection.
-	defer release()
-
+	// Parse once, before admission: malformed requests are rejected without
+	// consuming a slot, and retries re-execute the already-validated query.
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
 		outcome(wire.CodeBadRequest, 0)
@@ -482,49 +504,117 @@ func (ss *session) query(req *wire.Request) {
 		Spill:          spillPolicy,
 	}
 
-	resp := &wire.Response{ID: req.ID}
-	var rows int64
-	switch req.Op {
-	case wire.OpRun:
-		res, err := q.RunWithOptions(runCtx, opts)
+	var (
+		resp       *wire.Response
+		rows       int64
+		waited     time.Duration
+		retryCause string
+	)
+	for {
+		attempts++
+		// Admission: a free slot, a bounded FIFO wait, or a typed rejection.
+		release, w, err := srv.gate.acquire(runCtx)
 		if err != nil {
 			code := errCode(err)
 			outcome(code, 0)
 			ss.fail(req.ID, code, err)
 			return
 		}
-		resp.Columns = res.Columns
-		resp.Rows = res.Rows
-		resp.Stats = wireStats(&res.Stats, waited)
-		rows = int64(len(res.Rows))
-
-	case wire.OpCount:
-		n, st, err := q.CountWithOptions(runCtx, opts)
-		if err != nil {
+		waited += w
+		resp, rows, err = ss.execute(req, q, strategy, opts, runCtx)
+		// Released between attempts (and before the backoff sleep) so a
+		// retrying query never starves other admitted work; the response is
+		// written before the final release below, so a drained server still
+		// implies every admitted query's response reached its connection.
+		if err == nil {
+			defer release()
+			break
+		}
+		release()
+		if !parajoin.Retryable(err) {
 			code := errCode(err)
 			outcome(code, 0)
 			ss.fail(req.ID, code, err)
 			return
 		}
-		resp.Count = n
-		resp.Stats = wireStats(st, waited)
-		rows = n
-
-	case wire.OpExplain:
-		out, err := q.ExplainAnalyze(runCtx, strategy)
-		if err != nil {
+		if srv.cfg.RetryBudget < 0 {
+			// Retries disabled: surface the transport failure as-is.
 			code := errCode(err)
 			outcome(code, 0)
 			ss.fail(req.ID, code, err)
 			return
 		}
-		resp.Explain = out
+		if attempts > int64(srv.cfg.RetryBudget) {
+			err = fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, attempts, err)
+			outcome(wire.CodeRetriesExhausted, 0)
+			ss.fail(req.ID, wire.CodeRetriesExhausted, err)
+			return
+		}
+		retryCause = err.Error()
+		srv.cfg.Tracer.Emit(trace.Event{
+			Kind: trace.KindRetry, Run: seq, Worker: -1, Exchange: -1,
+			Name: retryCause, Attempts: attempts + 1,
+		})
+		srv.cfg.Logf("query %d: attempt %d failed (%v), retrying", seq, attempts, err)
+		backoff := srv.cfg.RetryBackoff << (attempts - 1)
+		if backoff > retryBackoffCap {
+			backoff = retryBackoffCap
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-timer.C:
+		case <-runCtx.Done():
+			timer.Stop()
+			err := context.Cause(runCtx)
+			code := errCode(err)
+			outcome(code, 0)
+			ss.fail(req.ID, code, err)
+			return
+		}
+	}
+	if resp.Stats != nil {
+		resp.Stats.QueueWaitNanos = int64(waited)
+		resp.Stats.Attempts = attempts
+		resp.Stats.RetryCause = retryCause
 	}
 	outcome("ok", rows)
 	ss.reply(resp)
 }
 
-func wireStats(st *parajoin.Stats, waited time.Duration) *wire.Stats {
+// execute runs a single attempt of an evaluation op.
+func (ss *session) execute(req *wire.Request, q *parajoin.Query, strategy parajoin.Strategy, opts parajoin.RunOptions, runCtx context.Context) (*wire.Response, int64, error) {
+	resp := &wire.Response{ID: req.ID}
+	switch req.Op {
+	case wire.OpRun:
+		res, err := q.RunWithOptions(runCtx, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp.Columns = res.Columns
+		resp.Rows = res.Rows
+		resp.Stats = wireStats(&res.Stats)
+		return resp, int64(len(res.Rows)), nil
+
+	case wire.OpCount:
+		n, st, err := q.CountWithOptions(runCtx, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp.Count = n
+		resp.Stats = wireStats(st)
+		return resp, n, nil
+
+	default: // wire.OpExplain (dispatch admits no other op here)
+		out, err := q.ExplainAnalyze(runCtx, strategy)
+		if err != nil {
+			return nil, 0, err
+		}
+		resp.Explain = out
+		return resp, 0, nil
+	}
+}
+
+func wireStats(st *parajoin.Stats) *wire.Stats {
 	if st == nil {
 		return nil
 	}
@@ -535,7 +625,6 @@ func wireStats(st *parajoin.Stats, waited time.Duration) *wire.Stats {
 		CPUNanos:           int64(st.CPU),
 		TuplesShuffled:     st.TuplesShuffled,
 		MaxConsumerSkew:    st.MaxConsumerSkew,
-		QueueWaitNanos:     int64(waited),
 		PeakResidentTuples: st.PeakResidentTuples,
 		SpilledBytes:       st.SpilledBytes,
 		SpillSegments:      st.SpillSegments,
@@ -545,6 +634,8 @@ func wireStats(st *parajoin.Stats, waited time.Duration) *wire.Stats {
 // errCode maps an error to its wire code.
 func errCode(err error) string {
 	switch {
+	case errors.Is(err, ErrRetriesExhausted):
+		return wire.CodeRetriesExhausted
 	case errors.Is(err, ErrOverloaded):
 		return wire.CodeOverloaded
 	case errors.Is(err, ErrDraining):

@@ -41,8 +41,18 @@ const (
 	// KindQuery is a serving-layer query span (emitted by internal/server,
 	// not the engine): Name is the lifecycle point ("start") or the outcome
 	// ("ok", "overloaded", "canceled", ...), Run the server's query sequence
-	// number, Dur the end-to-end latency, Tuples the result rows.
+	// number, Dur the end-to-end latency, Tuples the result rows. The
+	// outcome event's Attempts field is > 1 when the query was automatically
+	// re-executed after a retryable transport failure.
 	KindQuery Kind = "query"
+	// KindNet is a transport-health event from TCPTransport: Name is
+	// "reconnect <peer>" (Tuples = unacked frames resent after redialing)
+	// or "heartbeat-miss <peer>".
+	KindNet Kind = "net"
+	// KindRetry marks one automatic query re-execution (emitted by
+	// internal/server between attempts): Attempts is the attempt about to
+	// start, Name the retried error.
+	KindRetry Kind = "retry"
 )
 
 // Event is one structured trace record. The JSONL sink writes it verbatim
@@ -72,6 +82,10 @@ type Event struct {
 	Bytes int64 `json:"bytes,omitempty"`
 	// Dur is the span's wall time.
 	Dur time.Duration `json:"dur,omitempty"`
+	// Attempts is the query's execution attempt count (KindQuery outcome
+	// and KindRetry events); values > 1 mean the serving layer re-executed
+	// the query after a retryable failure.
+	Attempts int64 `json:"attempts,omitempty"`
 }
 
 // Sink receives batches of events from a Tracer. Implementations must be

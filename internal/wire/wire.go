@@ -67,6 +67,9 @@ const (
 	CodeClosed = "closed"
 	// CodeBadRequest: unparsable rule, unknown relation/strategy/op.
 	CodeBadRequest = "bad_request"
+	// CodeRetriesExhausted: the query kept failing with retryable transport
+	// errors and the server's automatic re-execution budget ran out.
+	CodeRetriesExhausted = "retries_exhausted"
 	// CodeInternal: anything else.
 	CodeInternal = "internal"
 )
@@ -116,6 +119,11 @@ type Stats struct {
 	PeakResidentTuples int64 `json:"peak_resident_tuples,omitempty"`
 	SpilledBytes       int64 `json:"spilled_bytes,omitempty"`
 	SpillSegments      int64 `json:"spill_segments,omitempty"`
+	// Attempts is how many times the query was executed (> 1 when the
+	// server automatically re-ran it after a retryable transport failure);
+	// RetryCause is the last error that triggered a re-execution.
+	Attempts   int64  `json:"attempts,omitempty"`
+	RetryCause string `json:"retry_cause,omitempty"`
 }
 
 // RelationInfo describes one catalog entry.
