@@ -255,6 +255,30 @@ func BenchmarkFigure10_Scalability(b *testing.B) {
 	logRender(b, func(w interface{ Write([]byte) (int, error) }) { sc.Render(w) })
 }
 
+// BenchmarkFigure10b_IntraWorkerSpeedup sweeps the sub-join parallelism K
+// on Q1 and Q2 under HC_TJ. The wallSpeedupK4 metric is the headline on a
+// multi-core host; subJoinTasks confirms the split engaged even where the
+// host has no spare cores to convert it into wall-clock gains.
+func BenchmarkFigure10b_IntraWorkerSpeedup(b *testing.B) {
+	s := suite()
+	var st *experiments.SpeedupStudy
+	var err error
+	for i := 0; i < b.N; i++ {
+		if st, err = s.Speedup(s.Workers, []int{1, 2, 4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var tasks int64
+	for _, r := range st.Rows {
+		if r.Query == "Q1" && r.K == 4 {
+			b.ReportMetric(r.Speedup, "wallSpeedupK4")
+		}
+		tasks += r.JoinTasks
+	}
+	b.ReportMetric(float64(tasks), "subJoinTasks")
+	logRender(b, func(w interface{ Write([]byte) (int, error) }) { st.Render(w) })
+}
+
 func BenchmarkFigure11_ShareOptimizers(b *testing.B) {
 	s := suite()
 	var f *experiments.ShareOptimizers

@@ -1,0 +1,58 @@
+// Command benchcheck validates a benchrunner -json report: the CI smoke
+// gate that fails when a benchmark run produced no outcomes, an unparsable
+// report, or any failed run (OOM, SPILL-CAP, TIMEOUT, or a transport
+// error). It prints a one-line summary per problem and exits nonzero so a
+// workflow step can gate on it.
+//
+//	benchrunner -exp figure3 -workers 8 -edges 2000 -json report.json
+//	benchcheck report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"parajoin/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	minRuns := flag.Int("min-runs", 1, "fail when the report has fewer runs than this")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: benchcheck [-min-runs N] report.json")
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var outcomes []*experiments.RecordedOutcome
+	if err := json.Unmarshal(data, &outcomes); err != nil {
+		log.Fatalf("%s: malformed report: %v", flag.Arg(0), err)
+	}
+	if len(outcomes) < *minRuns {
+		log.Fatalf("%s: %d runs recorded, want at least %d", flag.Arg(0), len(outcomes), *minRuns)
+	}
+
+	bad := 0
+	for _, o := range outcomes {
+		if o.Query == "" || o.Config == "" || o.Workers <= 0 {
+			fmt.Printf("incomplete outcome: query=%q config=%q workers=%d\n", o.Query, o.Config, o.Workers)
+			bad++
+			continue
+		}
+		if o.Failed {
+			fmt.Printf("FAILED run: %s under %s on %d workers: %s\n", o.Query, o.Config, o.Workers, o.FailWhy)
+			bad++
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d of %d runs failed validation", bad, len(outcomes))
+	}
+	fmt.Printf("benchcheck: %d runs ok\n", len(outcomes))
+}

@@ -70,6 +70,10 @@ var catalog = []experiment{
 		sc, err := s.Scalability("Q1")
 		return renderErr(err, func() { sc.Render(os.Stdout) })
 	}},
+	{"figure10b", "intra-worker parallel-join speedup, K=1,2,4,8", func(s *experiments.Suite) error {
+		st, err := s.Speedup(s.Workers, []int{1, 2, 4, 8})
+		return renderErr(err, func() { st.Render(os.Stdout) })
+	}},
 	{"figure11", "share-configuration algorithms, N=64,63,65", func(s *experiments.Suite) error {
 		f, err := s.Figure11([]string{"Q1", "Q2", "Q3", "Q4"}, nil)
 		return renderErr(err, func() { f.Render(os.Stdout) })
@@ -138,6 +142,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-run timeout")
 		memLimit  = flag.Int64("mem-limit", 0, "per-worker tuple budget (0 = suite default)")
 		spillMode = flag.String("spill", "", "spill-to-disk policy: off, on-pressure, always (default: off)")
+		parallel  = flag.Int("parallelism", 0, "intra-worker join parallelism: 0 auto, 1 serial, K>1 sub-joins per worker")
 		jsonPath  = flag.String("json", "", "write every run's full report as JSON to this file (- for stdout)")
 		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 		chaos     = flag.String("chaos", "", "deterministic fault-injection plan, e.g. 'seed=1;stall:prob=0.01,delay=5ms' (see internal/fault)")
@@ -171,6 +176,7 @@ func main() {
 		}
 		suite.Spill = p
 	}
+	suite.Parallelism = *parallel
 	if *chaos != "" {
 		plan, err := fault.ParsePlan(*chaos)
 		if err != nil {

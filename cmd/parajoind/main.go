@@ -58,6 +58,7 @@ func main() {
 		spillMode     = flag.String("spill", "on-pressure", "spill-to-disk policy: off, on-pressure, always")
 		spillDir      = flag.String("spill-dir", "", "directory for spill segment files (default: system temp dir)")
 		maxSpillBytes = flag.Int64("max-spill-bytes", 0, "hard cap on spilled bytes per query (0 = unlimited)")
+		parallelism   = flag.Int("parallelism", 0, "intra-worker join parallelism: 0 auto, 1 serial, K>1 sub-joins per worker")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 		seed          = flag.Int64("seed", 1, "planner sampling seed")
 		debugAddr     = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
@@ -105,6 +106,9 @@ func main() {
 	}
 	if *maxSpillBytes > 0 {
 		opts = append(opts, parajoin.WithSpillBudget(*maxSpillBytes))
+	}
+	if *parallelism != 0 {
+		opts = append(opts, parajoin.WithParallelism(*parallelism))
 	}
 	if tracer != nil {
 		opts = append(opts, parajoin.WithTracer(tracer))

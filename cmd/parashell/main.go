@@ -63,11 +63,15 @@ type shell struct {
 func main() {
 	log.SetFlags(0)
 	workers := flag.Int("workers", 8, "cluster size")
+	parallelism := flag.Int("parallelism", 0, "intra-worker join parallelism: 0 auto, 1 serial, K>1 sub-joins per worker")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 	connect := flag.String("connect", "", "start connected to a parajoind server (host:port)")
 	flag.Parse()
 
 	var opts []parajoin.Option
+	if *parallelism != 0 {
+		opts = append(opts, parajoin.WithParallelism(*parallelism))
+	}
 	if *debugAddr != "" {
 		ring := parajoin.NewTraceRing(4096)
 		opts = append(opts, parajoin.WithTracer(parajoin.NewTracer(ring)))

@@ -76,6 +76,13 @@ type Cluster struct {
 	// SpillSealTuples is the run length at which SpillAlways seals to
 	// disk; 0 takes the spill package's default (32Ki tuples).
 	SpillSealTuples int
+	// Parallelism is the number of concurrent sub-joins each worker may run
+	// inside one Tributary join. 0 (the default) resolves automatically from
+	// GOMAXPROCS and the number of hosted workers; 1 forces the serial path;
+	// K>1 splits the first join attribute's domain into contiguous ranges
+	// executed by up to K goroutines, with output concatenated in range
+	// order so the rows are bit-identical to the serial path's.
+	Parallelism int
 	// Tracer receives span events for every run on this cluster. Nil (the
 	// default) disables tracing at zero cost: operators are not wrapped and
 	// no events are built. Set it before running queries.

@@ -41,6 +41,10 @@ type exec struct {
 	spillBase   string // base for the run directory; "" = os.TempDir()
 	sealTuples  int    // run length at which policy Always seals; 0 = default
 
+	// parallelism caps concurrent sub-joins per Tributary join (resolved
+	// RunOpts → Cluster → default; 1 means the serial path).
+	parallelism int
+
 	// runDir is created lazily by the first seal and removed when the run
 	// ends (any way it ends). spillSegs counts this run's sealed segments.
 	dirOnce   sync.Once
@@ -528,6 +532,7 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 		spillPolicy: c.runSpillPolicy(opts),
 		spillBase:   c.runSpillDir(opts),
 		sealTuples:  c.SpillSealTuples,
+		parallelism: c.runParallelism(opts),
 	}
 	// The spill directory outlives every worker goroutine (wg.Wait happens
 	// first), so this single deferred removal covers success, error, and

@@ -22,6 +22,11 @@ type Metrics struct {
 	processed []int64
 	sorted    []int64
 	seeks     []int64
+
+	// Intra-worker parallel-join counters: sub-ranges executed across the
+	// run, and the most any single pool goroutine claimed (load balance).
+	joinTasks    int64
+	joinStealMax int64
 }
 
 // ExchangeMetrics counts one exchange's traffic.
@@ -115,6 +120,20 @@ func (m *Metrics) addSeeks(worker int, n int64) {
 	m.mu.Unlock()
 }
 
+func (m *Metrics) addJoinTasks(n int64) {
+	m.mu.Lock()
+	m.joinTasks += n
+	m.mu.Unlock()
+}
+
+func (m *Metrics) noteJoinSteal(n int64) {
+	m.mu.Lock()
+	if n > m.joinStealMax {
+		m.joinStealMax = n
+	}
+	m.mu.Unlock()
+}
+
 // Report is an immutable snapshot of a finished run's metrics.
 type Report struct {
 	Workers int
@@ -161,6 +180,13 @@ type Report struct {
 	SpilledBytes  int64
 	SpillSegments int64
 	Spills        int64
+	// JoinTasks counts the sub-range joins executed by intra-worker
+	// parallel Tributary joins (0 when every join ran serially);
+	// JoinStealMax is the most sub-ranges any single pool goroutine
+	// claimed — close to JoinTasks/K means balanced, close to JoinTasks
+	// means one goroutine did nearly everything.
+	JoinTasks    int64
+	JoinStealMax int64
 	// Exchanges lists per-exchange traffic in plan order.
 	Exchanges []ExchangeReport
 }
@@ -265,6 +291,9 @@ func (m *Metrics) report(wall time.Duration) *Report {
 		Processed: append([]int64(nil), m.processed...),
 		Sorted:    append([]int64(nil), m.sorted...),
 		Seeks:     append([]int64(nil), m.seeks...),
+
+		JoinTasks:    m.joinTasks,
+		JoinStealMax: m.joinStealMax,
 	}
 	ids := make([]int, 0, len(m.exchanges))
 	for id := range m.exchanges {

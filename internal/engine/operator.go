@@ -421,23 +421,31 @@ func (o *tributaryOp) open() error {
 	o.emitPhase("sort", sortDur, inputTuples)
 
 	joinStart := time.Now()
-	var produced int
-	runErr := p.Run(func(t rel.Tuple) bool {
-		if o.t.ex.charge(o.t.worker, 1, "tributary") != nil {
-			return false // stop early; memErr below reports the budget breach
-		}
-		// This enumeration can produce a worst-case-size result with no
-		// other cancellation point, so poll the run context periodically —
-		// deadlines, client cancels, and Close must not wait for it.
-		if produced++; produced&0x1fff == 0 && o.t.ex.ctx.Err() != nil {
-			return false
-		}
-		o.results = append(o.results, t.Clone())
-		return true
-	})
+	var runErr error
+	var seeks int64
+	if shards := o.shards(p); shards != nil {
+		runErr = o.joinParallel(shards)
+		seeks = shardSeeks(shards)
+	} else {
+		var produced int
+		runErr = p.Run(func(t rel.Tuple) bool {
+			if o.t.ex.charge(o.t.worker, 1, "tributary") != nil {
+				return false // stop early; memErr below reports the budget breach
+			}
+			// This enumeration can produce a worst-case-size result with no
+			// other cancellation point, so poll the run context periodically —
+			// deadlines, client cancels, and Close must not wait for it.
+			if produced++; produced&0x1fff == 0 && o.t.ex.ctx.Err() != nil {
+				return false
+			}
+			o.results = append(o.results, t.Clone())
+			return true
+		})
+		seeks = p.Stats().Seeks
+	}
 	joinDur := time.Since(joinStart)
 	o.t.ex.metrics.addJoin(o.t.worker, joinDur)
-	o.t.ex.metrics.addSeeks(o.t.worker, p.Stats().Seeks)
+	o.t.ex.metrics.addSeeks(o.t.worker, seeks)
 	o.emitPhase("join", joinDur, int64(len(o.results)))
 	if runErr != nil {
 		return runErr
@@ -557,6 +565,22 @@ func (o *tributaryOp) openSpilled() error {
 	o.emitPhase("sort", sortDur, inputTuples)
 
 	joinStart := time.Now()
+	if shards := o.shards(p); shards != nil {
+		stream, perr := o.joinParallelSpilled(shards)
+		joinDur := time.Since(joinStart)
+		e.metrics.addJoin(o.t.worker, joinDur)
+		e.metrics.addSeeks(o.t.worker, shardSeeks(shards))
+		var tuples int64
+		if stream != nil {
+			tuples = stream.Len()
+		}
+		o.emitPhase("join", joinDur, tuples)
+		if perr != nil {
+			return perr
+		}
+		o.stream = stream
+		return nil
+	}
 	buf := spill.NewBuffer(e.spillConfig(o.t.worker, len(o.sch), "tributary"))
 	var addErr error
 	var produced int

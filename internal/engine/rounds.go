@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"parajoin/internal/rel"
@@ -43,6 +44,10 @@ type RunOpts struct {
 	// MaxSpillBytes overrides the cluster's hard cap on this run's spilled
 	// bytes: 0 inherits, a negative value lifts the cap.
 	MaxSpillBytes int64
+	// Parallelism overrides the cluster's intra-worker join parallelism for
+	// this run: 0 inherits, a negative value forces the serial path, K>0
+	// allows up to K concurrent sub-joins per worker.
+	Parallelism int
 }
 
 func (c *Cluster) runTracer(o RunOpts) *trace.Tracer {
@@ -84,6 +89,33 @@ func (c *Cluster) runSpillBytes(o RunOpts) int64 {
 		return 0
 	}
 	return c.MaxSpillBytes
+}
+
+func (c *Cluster) runParallelism(o RunOpts) int {
+	k := c.Parallelism
+	switch {
+	case o.Parallelism > 0:
+		k = o.Parallelism
+	case o.Parallelism < 0:
+		return 1
+	}
+	if k == 0 {
+		return defaultParallelism(len(c.hosted))
+	}
+	return max(k, 1)
+}
+
+// defaultParallelism sizes the auto sub-join pool: the hosted workers of a
+// run already execute concurrently, so each gets an even share of the
+// host's cores, clamped to [1, 8]. On a machine with fewer cores than
+// hosted workers this resolves to 1 — the serial path — so small hosts pay
+// no coordination overhead by default.
+func defaultParallelism(hosted int) int {
+	if hosted < 1 {
+		hosted = 1
+	}
+	k := runtime.GOMAXPROCS(0) / hosted
+	return min(max(k, 1), 8)
 }
 
 // RunRounds executes rounds in order, materializing intermediate results
@@ -162,6 +194,9 @@ func mergeReports(a, b *Report) *Report {
 		SpilledBytes:       a.SpilledBytes + b.SpilledBytes,
 		SpillSegments:      a.SpillSegments + b.SpillSegments,
 		Spills:             a.Spills + b.Spills,
+
+		JoinTasks:    a.JoinTasks + b.JoinTasks,
+		JoinStealMax: max(a.JoinStealMax, b.JoinStealMax),
 	}
 	for i := range out.BusyTime {
 		out.BusyTime[i] += b.BusyTime[i]

@@ -45,6 +45,11 @@ type Suite struct {
 	// MaxSpillBytes caps spilled bytes per run; exceeding it reports FAIL
 	// with reason SPILL-CAP. 0 = unlimited.
 	MaxSpillBytes int64
+	// Parallelism is the intra-worker join parallelism for all clusters
+	// (set it before the first Cluster call): 0 = automatic, 1 = serial,
+	// K>1 = up to K concurrent sub-joins per worker. Figure 10b overrides
+	// it per run to sweep K.
+	Parallelism int
 	// Timeout bounds each single run (the paper kills queries at 1000 s).
 	Timeout time.Duration
 	// Seed drives order sampling.
@@ -125,6 +130,7 @@ func (s *Suite) Cluster(n int) *engine.Cluster {
 		c.MaxLocalTuples = s.MemLimitTuples
 		c.SpillPolicy = s.Spill
 		c.MaxSpillBytes = s.MaxSpillBytes
+		c.Parallelism = s.Parallelism
 		c.Tracer = s.Tracer
 		for _, r := range w.Relations {
 			c.Load(r)
@@ -226,8 +232,14 @@ func (s *Suite) RunConfig(queryName string, cfg planner.PlanConfig, n int) (*Run
 // (cmd/parajoin's -rule mode).
 func (s *Suite) RunQuery(q *core.Query, cfg planner.PlanConfig, n int) (*RunOutcome, error) {
 	s.Workload()
+	return s.runOn(s.Cluster(n), q, cfg, n, cfg.String(), engine.RunOpts{})
+}
+
+// runOn is the execution core behind RunQuery, shared with experiments
+// (Figure 10b) that re-run one configuration under per-run engine options;
+// label names the configuration in the recorded outcome.
+func (s *Suite) runOn(c *engine.Cluster, q *core.Query, cfg planner.PlanConfig, n int, label string, opts engine.RunOpts) (*RunOutcome, error) {
 	p := s.Planner(n)
-	c := s.Cluster(n)
 
 	res, err := p.Plan(q, cfg)
 	if err != nil {
@@ -241,7 +253,7 @@ func (s *Suite) RunQuery(q *core.Query, cfg planner.PlanConfig, n int) (*RunOutc
 	defer cancel()
 
 	start := time.Now()
-	result, report, err := c.RunRounds(ctx, res.Rounds)
+	result, report, err := c.RunRoundsOpts(ctx, res.Rounds, opts)
 	wall := time.Since(start)
 
 	out := &RunOutcome{Config: cfg, Wall: wall, Plan: res, Report: report}
@@ -268,7 +280,7 @@ func (s *Suite) RunQuery(q *core.Query, cfg planner.PlanConfig, n int) (*RunOutc
 	}
 	if s.Record {
 		rec := &RecordedOutcome{
-			Query: q.Name, Config: cfg.String(), Workers: n,
+			Query: q.Name, Config: label, Workers: n,
 			Failed: out.Failed, FailWhy: out.FailWhy,
 			Wall: out.Wall, CPU: out.CPU,
 			Shuffled: out.Shuffled, Results: out.Results, Report: out.Report,

@@ -1,15 +1,3 @@
-// Package fault is parajoin's deterministic fault-injection subsystem. A
-// Plan is a seeded list of rules — connection drops, receive errors,
-// latency stalls, worker crash-at-barrier events — selectable by exchange,
-// worker, and nth matching call. An Injector evaluates the plan against a
-// stream of transport operations with no wall-clock or global randomness in
-// the hot path: every probabilistic decision is a pure hash of (seed, rule,
-// exchange, worker, call number), so the same plan against the same
-// execution produces the same faults, run after run, process after process.
-//
-// Plans wrap a cluster's Transport (see Wrap) and are usable from three
-// entry points: engine/server tests, `benchrunner -chaos <spec>`, and the
-// `parajoind -fault-plan <spec>` dev flag.
 package fault
 
 import (

@@ -47,6 +47,13 @@ type Prepared struct {
 	stop      func() bool
 	stopSteps int64
 	stopped   bool
+
+	// Level-0 range restriction (set by Shards): the join enumerates only
+	// first-variable values v with (!hasLo || v ≥ lo) && (!hasHi || v < hi).
+	// Deeper levels are untouched — they already descend from a level-0
+	// binding. Both unset (the default) means the full domain.
+	lo, hi       int64
+	hasLo, hasHi bool
 }
 
 type preparedAtom struct {
@@ -218,7 +225,13 @@ func (p *Prepared) join(d int, binding, out rel.Tuple, emit func(rel.Tuple) bool
 
 	lf := leapfrog{iters: iters}
 	lf.init()
+	if d == 0 && p.hasLo && !lf.atEnd && lf.key() < p.lo {
+		lf.seek(p.lo)
+	}
 	for !lf.atEnd {
+		if d == 0 && p.hasHi && lf.key() >= p.hi {
+			break
+		}
 		if p.stop != nil {
 			p.stopSteps++
 			if p.stopSteps&4095 == 0 && p.stop() {

@@ -130,6 +130,13 @@ func (a *arrayTrie) Key() int64   { return a.tuples[a.pos[a.depth]][a.depth] }
 func (a *arrayTrie) AtEnd() bool  { return a.end[a.depth] }
 func (a *arrayTrie) Seeks() int64 { return a.seeks }
 
+// clone returns an independent iterator over the same (shared, immutable)
+// backing array, positioned at the virtual root with a fresh seek counter.
+// Shards use it to walk disjoint ranges of one relation concurrently.
+func (a *arrayTrie) clone() *arrayTrie {
+	return newArrayTrie(a.tuples, len(a.lo), a.mode)
+}
+
 // keyRunEnd returns the index one past the run of tuples sharing the
 // current key at level d within [pos[d], hi[d]).
 func (a *arrayTrie) keyRunEnd(d int) int {

@@ -60,8 +60,9 @@ func (s *captureSink) find(kind trace.Kind) []trace.Event {
 }
 
 // chaosServer starts a server whose DB runs under the given fault plan
-// (nil for none), loaded with the standard test graph.
-func chaosServer(t *testing.T, plan *fault.Plan, cfg server.Config) (*server.Server, string, *captureSink) {
+// (nil for none), loaded with the standard test graph. Extra DB options
+// (e.g. WithParallelism) are appended after the defaults.
+func chaosServer(t *testing.T, plan *fault.Plan, cfg server.Config, extra ...parajoin.Option) (*server.Server, string, *captureSink) {
 	t.Helper()
 	sink := &captureSink{}
 	if cfg.Logf == nil {
@@ -72,6 +73,7 @@ func chaosServer(t *testing.T, plan *fault.Plan, cfg server.Config) (*server.Ser
 	if plan != nil {
 		opts = append(opts, parajoin.WithFaultPlan(plan))
 	}
+	opts = append(opts, extra...)
 	db := parajoin.Open(4, opts...)
 	if err := db.LoadEdges("E", parajoin.SyntheticGraph(1200, 200, 5)); err != nil {
 		t.Fatal(err)
@@ -174,6 +176,57 @@ func TestChaosSoakBitIdentical(t *testing.T) {
 				}
 				if !sawAttempts {
 					t.Fatal("no KindQuery outcome event carried Attempts >= 2")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosSoakParallel re-runs the healing soak with intra-worker
+// parallel joins forced on (K=3): the re-executed query must still
+// reproduce the serial fault-free rows byte-for-byte — the determinism
+// contract the parallel join's range-ordered concatenation guarantees —
+// while the shard pool runs under whatever goroutine interleaving the
+// race detector provokes.
+func TestChaosSoakParallel(t *testing.T) {
+	plans := []string{
+		"seed=11;drop:exchange=0,worker=1,nth=1",
+		"seed=33;crash:exchange=0,worker=0,nth=1",
+	}
+	queries := []struct {
+		name, rule, strategy string
+	}{
+		{"triangle", triRule, "hc_tj"},
+		{"4clique", cliqueRule, "hc_tj"},
+	}
+	for _, q := range queries {
+		want := baseline(t, q.rule, q.strategy)
+		if len(want) == 0 {
+			t.Fatalf("%s baseline returned no rows — the soak would prove nothing", q.name)
+		}
+		for _, spec := range plans {
+			plan, err := fault.ParsePlan(spec)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q): %v", spec, err)
+			}
+			t.Run(q.name+"/"+plan.String(), func(t *testing.T) {
+				_, addr, _ := chaosServer(t, plan, server.Config{}, parajoin.WithParallelism(3))
+				c := dial(t, addr)
+				res, err := c.Run(context.Background(), q.rule, client.QueryOptions{Strategy: q.strategy})
+				if err != nil {
+					t.Fatalf("parallel query under %q failed: %v", spec, err)
+				}
+				got := canon(res.Rows)
+				if len(got) != len(want) {
+					t.Fatalf("parallel result diverged under faults: %d rows, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d diverged under faults+parallelism: %q vs %q", i, got[i], want[i])
+					}
+				}
+				if res.Stats.Attempts < 2 {
+					t.Fatalf("Attempts = %d, want >= 2", res.Stats.Attempts)
 				}
 			})
 		}

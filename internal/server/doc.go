@@ -1,0 +1,15 @@
+// Package server is parajoind's serving layer: a long-running TCP service
+// hosting one shared parajoin.DB and evaluating many clients' queries
+// concurrently and safely. Admission control (see admission.go) bounds
+// concurrency and queue depth so overload produces fast typed rejections
+// instead of collapse; per-query deadlines, client-driven cancellation, and
+// per-query memory budgets carved from the cluster-wide limit bound each
+// query's cost; SIGTERM-style drain (Shutdown) stops admitting, finishes
+// in-flight queries, then closes.
+//
+// The wire protocol is defined in internal/wire; the Go client lives in
+// the top-level client package. Admission semantics, budget carving, and
+// the drain state machine are specified in DESIGN.md's "Concurrent query
+// service" section; the debug endpoints the server exposes are under
+// "Observability".
+package server

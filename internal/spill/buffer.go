@@ -51,6 +51,52 @@ func (b *Buffer) Finish() (Stream, error) {
 	return &chainStream{srcs: srcs, total: b.total}, nil
 }
 
+// Concat chains streams back to back in argument order: Len sums, Next
+// drains each stream before moving to the next, Close closes them all.
+// The parallel Tributary join uses it to stitch per-sub-range buffers
+// into one stream with the serial path's exact row order.
+func Concat(streams ...Stream) Stream {
+	if len(streams) == 1 {
+		return streams[0]
+	}
+	c := &concatStream{streams: streams}
+	for _, s := range streams {
+		c.total += s.Len()
+	}
+	return c
+}
+
+type concatStream struct {
+	streams []Stream
+	cur     int
+	total   int64
+}
+
+func (c *concatStream) Len() int64 { return c.total }
+
+func (c *concatStream) Next() (rel.Tuple, error) {
+	for c.cur < len(c.streams) {
+		t, err := c.streams[c.cur].Next()
+		if err == io.EOF {
+			c.cur++
+			continue
+		}
+		return t, err
+	}
+	return nil, io.EOF
+}
+
+func (c *concatStream) Close() error {
+	var first error
+	for _, s := range c.streams {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.streams = nil
+	return first
+}
+
 // chainStream concatenates sources back to back.
 type chainStream struct {
 	srcs  []source

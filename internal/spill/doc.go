@@ -1,0 +1,35 @@
+// Package spill is parajoin's bounded-memory escape hatch: when an
+// operator's materialized state crosses its memory reservation, the
+// in-memory run is sealed to a compact binary segment file in a per-run
+// temporary directory, and the operator continues against a budget that
+// just got that much room back. The paper's workers sit on Postgres
+// instances that survive inputs larger than RAM; this package gives the
+// in-process engine the same property — queries that used to abort with
+// an out-of-memory error degrade to disk speed instead.
+//
+// The pieces:
+//
+//   - Accountant: per-run reserve/release accounting of materialized
+//     tuples, shared by every operator of a run, with per-worker peaks
+//     and a hard byte cap on spilled data. All methods are lock-free
+//     atomics, so concurrent charges — including the sub-joins of one
+//     worker's parallel Tributary join — never deadlock or contend on a
+//     mutex.
+//   - Segment: the on-disk run format — a small header plus raw
+//     little-endian int64 values, streamed through buffered I/O.
+//   - Sorter: an external merge sort. Sealed runs are sorted before they
+//     hit disk, so reading them back is a k-way merge that yields the
+//     exact sequence an in-memory sort of the whole input would.
+//   - Buffer: the unsorted cousin, preserving append order — used for
+//     result, StoreAs, and per-sub-range join-output materialization
+//     (Concat chains per-shard buffers back into one ordered stream).
+//   - Dir: the per-run temp directory, removed wholesale when the run
+//     ends (success, error, or cancellation alike).
+//
+// The package is engine-agnostic: it never touches transports, plans, or
+// tracing. The engine supplies a segment-file factory and an OnSpill hook
+// and maps the sentinel errors onto its own. The budget semantics, seal
+// policies, and operator integration are specified in DESIGN.md's "Memory
+// management & spilling" section; the interaction with parallel sub-joins
+// is in "Intra-worker parallelism".
+package spill

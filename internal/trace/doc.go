@@ -1,0 +1,15 @@
+// Package trace is parajoin's execution tracing layer: a low-overhead,
+// lock-sharded Tracer that routes structured span events (run, operator,
+// exchange send, Tributary phase, parallel sub-join, spill, query, net,
+// retry) to a pluggable Sink. The nil *Tracer is the zero-cost default —
+// Emit on a nil or sink-less tracer returns immediately and allocates
+// nothing, so the engine can call it unconditionally on hot paths.
+//
+// Events are spans, not samples: each operator, exchange producer, and
+// Tributary phase emits one summary event per (run, worker) when it
+// finishes, so a run of W workers and P plan nodes produces O(W·P) events
+// regardless of data size. Sinks (JSONL file, in-memory ring behind the
+// /debug/trace endpoint, collector for EXPLAIN ANALYZE) are in sink.go;
+// DESIGN.md's "Observability" section specifies the event vocabulary and
+// how the serving layer and CLIs consume it.
+package trace

@@ -1,14 +1,3 @@
-// Package trace is parajoin's execution tracing layer: a low-overhead,
-// lock-sharded Tracer that routes structured span events (run, operator,
-// exchange send, phase) to a pluggable Sink. The nil *Tracer is the
-// zero-cost default — Emit on a nil or sink-less tracer returns immediately
-// and allocates nothing, so the engine can call it unconditionally on hot
-// paths.
-//
-// Events are spans, not samples: each operator, exchange producer, and
-// Tributary phase emits one summary event per (run, worker) when it
-// finishes, so a run of W workers and P plan nodes produces O(W·P) events
-// regardless of data size.
 package trace
 
 import (
@@ -34,6 +23,10 @@ const (
 	KindSend Kind = "send"
 	// KindPhase is a Tributary phase ("sort" or "join") on one worker.
 	KindPhase Kind = "phase"
+	// KindJoin is one sub-range of a parallel Tributary join on one worker:
+	// Name "subjoin i/n", Op the sub-range's index in range order, Tuples
+	// the rows it produced, Dur its wall time. Serial joins emit none.
+	KindJoin Kind = "join"
 	// KindSpill marks one in-memory run sealed to disk on one worker:
 	// Name the spilling operator's label, Tuples the tuples sealed, Bytes
 	// the segment size, Dur the sort+write time.

@@ -1,0 +1,16 @@
+// Package wire defines parajoind's client↔server protocol: length-prefixed
+// JSON frames over a byte stream (normally TCP).
+//
+// Every frame is a 4-byte big-endian length followed by that many bytes of
+// JSON. Requests carry a client-chosen ID; the server answers every request
+// with exactly one Response bearing the same ID. Responses may arrive out
+// of order — the server evaluates queries concurrently — so clients must
+// demultiplex by ID. A Cancel request references another in-flight request
+// by Target; both the cancel and the canceled request get responses.
+//
+// JSON (rather than gob) keeps the protocol debuggable with nc/jq and
+// implementable from any language; the 8-bytes-per-value cost is irrelevant
+// next to query evaluation for the workloads this serves. The request
+// vocabulary, error taxonomy, and framing rationale are specified in
+// DESIGN.md's "Concurrent query service" section.
+package wire

@@ -190,6 +190,16 @@ func WithSpillBudget(bytes int64) Option {
 	return func(db *DB) { db.cluster.MaxSpillBytes = bytes }
 }
 
+// WithParallelism sets how many sub-joins each worker may run concurrently
+// inside one Tributary join. 0 (the default) resolves automatically from
+// GOMAXPROCS and the worker count; 1 forces the serial path; K>1 splits
+// the first join attribute's domain into contiguous ranges joined by up to
+// K goroutines. Output is bit-identical to the serial path whatever K is:
+// the ranges are disjoint and concatenated in domain order.
+func WithParallelism(k int) Option {
+	return func(db *DB) { db.cluster.Parallelism = k }
+}
+
 // WithSeed seeds the variable-order sampling for reproducible plans.
 func WithSeed(seed int64) Option {
 	return func(db *DB) { db.seed = seed }
@@ -311,6 +321,10 @@ func (db *DB) MemoryLimit() int64 { return db.cluster.MaxLocalTuples }
 // Spill returns the database-wide spill policy set by WithSpill.
 func (db *DB) Spill() SpillPolicy { return db.cluster.SpillPolicy }
 
+// Parallelism returns the intra-worker join parallelism set by
+// WithParallelism (0 means automatic).
+func (db *DB) Parallelism() int { return db.cluster.Parallelism }
+
 // Code returns the int64 code of a string value, assigning one if new.
 // String constants in query rules are encoded with the same dictionary, so
 // values loaded through Code match constants written in rules.
@@ -412,6 +426,10 @@ type RunOptions struct {
 	// MaxSpillBytes overrides the database's per-query spilled-bytes cap:
 	// 0 inherits, a negative value lifts the cap.
 	MaxSpillBytes int64
+	// Parallelism overrides the database's intra-worker join parallelism
+	// for this query: 0 inherits, a negative value forces the serial path,
+	// K>0 allows up to K concurrent sub-joins per worker.
+	Parallelism int
 }
 
 func (o RunOptions) strategy() Strategy {
@@ -426,6 +444,7 @@ func (o RunOptions) engineOpts() engine.RunOpts {
 		MaxLocalTuples: o.MaxLocalTuples,
 		Spill:          o.Spill,
 		MaxSpillBytes:  o.MaxSpillBytes,
+		Parallelism:    o.Parallelism,
 	}
 }
 
@@ -463,7 +482,7 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 			Workers:         db.workers,
 		},
 	}
-	result.Stats.spillStats(report)
+	result.Stats.fromReport(report)
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
 	}
@@ -527,7 +546,7 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 		TuplesShuffled:  report.TotalTuplesShuffled(),
 		MaxConsumerSkew: report.MaxConsumerSkew(),
 	}
-	st.spillStats(report)
+	st.fromReport(report)
 	return total, st, nil
 }
 
@@ -559,10 +578,17 @@ type Stats struct {
 	// activity; both zero when nothing spilled.
 	SpilledBytes  int64
 	SpillSegments int64
+	// JoinTasks counts the sub-range joins run by intra-worker parallel
+	// Tributary joins (0 when every join ran serially); JoinStealMax is
+	// the most sub-ranges any single pool goroutine claimed — a load-
+	// balance measure (close to JoinTasks/K means balanced).
+	JoinTasks    int64
+	JoinStealMax int64
 }
 
-// spillStats copies the report's spill counters into a Stats value.
-func (s *Stats) spillStats(report *engine.Report) {
+// fromReport copies the report's spill and parallel-join counters into a
+// Stats value.
+func (s *Stats) fromReport(report *engine.Report) {
 	for _, p := range report.PeakResidentTuples {
 		if p > s.PeakResidentTuples {
 			s.PeakResidentTuples = p
@@ -570,6 +596,8 @@ func (s *Stats) spillStats(report *engine.Report) {
 	}
 	s.SpilledBytes = report.SpilledBytes
 	s.SpillSegments = report.SpillSegments
+	s.JoinTasks = report.JoinTasks
+	s.JoinStealMax = report.JoinStealMax
 }
 
 // chooseStrategy applies the paper's Table-6 conclusion: when the regular

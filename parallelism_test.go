@@ -1,0 +1,150 @@
+package parajoin
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"parajoin/internal/dataset"
+)
+
+// The determinism suite for intra-worker parallel joins: whatever K is,
+// the rows and their order must be byte-identical to the serial run. This
+// is load-bearing beyond aesthetics — the fault-tolerance layer re-executes
+// failed queries and assumes re-execution reproduces identical results.
+
+// identicalResults fails unless both results hold the same rows in the
+// same order.
+func identicalResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, serial has %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			t.Fatalf("%s: row %d arity mismatch", label, i)
+		}
+		for j := range want.Rows[i] {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("%s: row %d differs: got %v want %v", label, i, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestParallelJoinDeterminism(t *testing.T) {
+	// A skewed generator alongside the uniform ones: Zipf-heavy hubs give
+	// the partitioner very uneven sub-range costs, the case most likely to
+	// expose ordering bugs in the shard pool.
+	skewed := dataset.Twitter(dataset.GraphConfig{Edges: 1500, Nodes: 120, Skew: 2.2, Seed: 17})
+	skewedEdges := make([][2]int64, len(skewed.Tuples))
+	for i, tp := range skewed.Tuples {
+		skewedEdges[i] = [2]int64{tp[0], tp[1]}
+	}
+
+	inputs := []struct {
+		name  string
+		edges [][2]int64
+		rule  string
+	}{
+		{"triangle", SyntheticGraph(1500, 200, 3),
+			"Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)"},
+		{"4clique", SyntheticGraph(900, 90, 5),
+			"Cl(x,y,z,w) :- E(x,y), E(x,z), E(x,w), E(y,z), E(y,w), E(z,w)"},
+		{"skewed-triangle", skewedEdges,
+			"Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)"},
+	}
+	for _, in := range inputs {
+		t.Run(in.name, func(t *testing.T) {
+			db := testDB(t, 4)
+			if err := db.LoadEdges("E", in.edges); err != nil {
+				t.Fatal(err)
+			}
+			q, err := db.Query(in.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := q.RunWithOptions(context.Background(),
+				RunOptions{Strategy: HyperCubeTributary, Parallelism: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Stats.JoinTasks != 0 {
+				t.Fatalf("serial run reported %d sub-join tasks", serial.Stats.JoinTasks)
+			}
+			engaged := false
+			for _, k := range []int{2, 3, 8} {
+				par, err := q.RunWithOptions(context.Background(),
+					RunOptions{Strategy: HyperCubeTributary, Parallelism: k})
+				if err != nil {
+					t.Fatalf("K=%d: %v", k, err)
+				}
+				identicalResults(t, fmt.Sprintf("K=%d", k), par, serial)
+				if par.Stats.JoinTasks > 0 {
+					engaged = true
+				}
+			}
+			if !engaged {
+				t.Error("parallelism never engaged at any K")
+			}
+		})
+	}
+}
+
+// TestParallelJoinDeterminismWithSpill repeats the triangle case with the
+// spill path forced on: per-shard buffers must chain back in range order.
+func TestParallelJoinDeterminismWithSpill(t *testing.T) {
+	open := func() (*DB, *Query) {
+		db := Open(4, WithSeed(7), WithSpill(SpillAlways), WithSpillDir(t.TempDir()))
+		t.Cleanup(func() { db.Close() })
+		if err := db.LoadEdges("E", SyntheticGraph(1500, 200, 3)); err != nil {
+			t.Fatal(err)
+		}
+		q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, q
+	}
+	_, q := open()
+	serial, err := q.RunWithOptions(context.Background(),
+		RunOptions{Strategy: HyperCubeTributary, Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := q.RunWithOptions(context.Background(),
+		RunOptions{Strategy: HyperCubeTributary, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalResults(t, "K=4 spilled", par, serial)
+	if par.Stats.JoinTasks == 0 {
+		t.Error("parallelism never engaged under SpillAlways")
+	}
+}
+
+func TestWithParallelismOption(t *testing.T) {
+	db := Open(2, WithSeed(7), WithParallelism(3))
+	defer db.Close()
+	if got := db.Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	if err := db.LoadEdges("E", SyntheticGraph(800, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Query("Tri(x,y,z) :- E(x,y), E(y,z), E(z,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.RunWith(context.Background(), HyperCubeTributary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.JoinTasks == 0 {
+		t.Error("WithParallelism(3) never engaged")
+	}
+	if res.Stats.JoinStealMax == 0 || res.Stats.JoinStealMax > res.Stats.JoinTasks {
+		t.Errorf("JoinStealMax=%d out of range (JoinTasks=%d)",
+			res.Stats.JoinStealMax, res.Stats.JoinTasks)
+	}
+}
