@@ -1,22 +1,43 @@
 // Command benchcheck validates a benchrunner -json report: the CI smoke
 // gate that fails when a benchmark run produced no outcomes, an unparsable
-// report, or any failed run (OOM, SPILL-CAP, TIMEOUT, or a transport
-// error). It prints a one-line summary per problem and exits nonzero so a
-// workflow step can gate on it.
+// report, a malformed latency digest, or any failed run (OOM, SPILL-CAP,
+// TIMEOUT, or a transport error). It prints a one-line summary per problem
+// and exits nonzero so a workflow step can gate on it.
+//
+// The report is an object {Outcomes: [...], Latency: {Count, P50, ...}};
+// unknown top-level keys are rejected to catch schema drift between
+// benchrunner and this gate.
 //
 //	benchrunner -exp figure3 -workers 8 -edges 2000 -json report.json
 //	benchcheck report.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"parajoin/internal/experiments"
 )
+
+// report mirrors benchrunner's -json output shape.
+type report struct {
+	Outcomes []*experiments.RecordedOutcome
+	Latency  latency
+}
+
+// latency is benchrunner's percentile digest; durations are nanoseconds.
+type latency struct {
+	Count int64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,28 +52,77 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var outcomes []*experiments.RecordedOutcome
-	if err := json.Unmarshal(data, &outcomes); err != nil {
-		log.Fatalf("%s: malformed report: %v", flag.Arg(0), err)
+	n, problems := validate(data, *minRuns)
+	for _, p := range problems {
+		fmt.Println(p)
 	}
-	if len(outcomes) < *minRuns {
-		log.Fatalf("%s: %d runs recorded, want at least %d", flag.Arg(0), len(outcomes), *minRuns)
+	if len(problems) > 0 {
+		log.Fatalf("%s: report failed validation (%d problems)", flag.Arg(0), len(problems))
+	}
+	fmt.Printf("benchcheck: %d runs ok\n", n)
+}
+
+// knownKeys are the only top-level keys a report may carry; anything else
+// means benchrunner and benchcheck have drifted apart.
+var knownKeys = map[string]bool{"Outcomes": true, "Latency": true}
+
+// validate checks one report and returns the run count plus every problem
+// found. It is the whole gate, factored out of main for testing.
+func validate(data []byte, minRuns int) (int, []string) {
+	if bytes.HasPrefix(bytes.TrimSpace(data), []byte("[")) {
+		return 0, []string{"legacy bare-array report: regenerate with a benchrunner that writes {Outcomes, Latency}"}
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return 0, []string{fmt.Sprintf("malformed report: %v", err)}
+	}
+	var problems []string
+	for k := range keys {
+		if !knownKeys[k] {
+			problems = append(problems, fmt.Sprintf("unknown top-level key %q (schema drift?)", k))
+		}
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return 0, append(problems, fmt.Sprintf("malformed report: %v", err))
 	}
 
-	bad := 0
-	for _, o := range outcomes {
+	if len(rep.Outcomes) < minRuns {
+		problems = append(problems, fmt.Sprintf("%d runs recorded, want at least %d", len(rep.Outcomes), minRuns))
+	}
+	for _, o := range rep.Outcomes {
 		if o.Query == "" || o.Config == "" || o.Workers <= 0 {
-			fmt.Printf("incomplete outcome: query=%q config=%q workers=%d\n", o.Query, o.Config, o.Workers)
-			bad++
+			problems = append(problems, fmt.Sprintf("incomplete outcome: query=%q config=%q workers=%d", o.Query, o.Config, o.Workers))
 			continue
 		}
 		if o.Failed {
-			fmt.Printf("FAILED run: %s under %s on %d workers: %s\n", o.Query, o.Config, o.Workers, o.FailWhy)
-			bad++
+			problems = append(problems, fmt.Sprintf("FAILED run: %s under %s on %d workers: %s", o.Query, o.Config, o.Workers, o.FailWhy))
 		}
 	}
-	if bad > 0 {
-		log.Fatalf("%d of %d runs failed validation", bad, len(outcomes))
+
+	// Latency digest: percentiles must exist, be non-negative, and be
+	// ordered; a report with completed runs must have a matching count.
+	if _, ok := keys["Latency"]; !ok {
+		problems = append(problems, "missing Latency digest")
+	} else {
+		lat := rep.Latency
+		completed := 0
+		for _, o := range rep.Outcomes {
+			if !o.Failed {
+				completed++
+			}
+		}
+		switch {
+		case lat.P50 < 0 || lat.P95 < 0 || lat.P99 < 0 || lat.Max < 0 || lat.Count < 0:
+			problems = append(problems, fmt.Sprintf("negative latency digest: %+v", lat))
+		case lat.P50 > lat.P95 || lat.P95 > lat.P99 || lat.P99 > lat.Max:
+			problems = append(problems, fmt.Sprintf("latency percentiles out of order: p50=%v p95=%v p99=%v max=%v",
+				lat.P50, lat.P95, lat.P99, lat.Max))
+		case int(lat.Count) != completed:
+			problems = append(problems, fmt.Sprintf("latency digest counts %d runs, report has %d completed", lat.Count, completed))
+		case completed > 0 && lat.P50 <= 0:
+			problems = append(problems, fmt.Sprintf("latency digest missing p50 (%v) despite %d completed runs", lat.P50, completed))
+		}
 	}
-	fmt.Printf("benchcheck: %d runs ok\n", len(outcomes))
+	return len(rep.Outcomes), problems
 }

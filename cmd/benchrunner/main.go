@@ -19,6 +19,7 @@ import (
 	"parajoin/internal/engine"
 	"parajoin/internal/experiments"
 	"parajoin/internal/fault"
+	"parajoin/internal/metrics"
 	"parajoin/internal/planner"
 	"parajoin/internal/trace"
 )
@@ -239,6 +240,43 @@ func main() {
 	}
 }
 
+// latencySummary is the percentile digest of the recorded runs' wall times,
+// distilled through the metrics package's histogram (the same bucket scheme
+// the /metrics endpoint scrapes). Durations marshal as nanoseconds.
+type latencySummary struct {
+	// Count is the number of completed runs the percentiles summarize.
+	Count int64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// benchReport is the -json output shape: the raw per-run outcomes plus the
+// latency digest benchcheck validates.
+type benchReport struct {
+	Outcomes []*experiments.RecordedOutcome
+	Latency  latencySummary
+}
+
+func summarizeLatency(outcomes []*experiments.RecordedOutcome) latencySummary {
+	h := metrics.NewRegistry().Histogram("bench_run_seconds", "", metrics.DurationBuckets)
+	for _, o := range outcomes {
+		if o.Failed {
+			continue
+		}
+		h.ObserveDuration(o.Wall)
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return latencySummary{
+		Count: h.Count(),
+		P50:   sec(h.Quantile(0.50)),
+		P95:   sec(h.Quantile(0.95)),
+		P99:   sec(h.Quantile(0.99)),
+		Max:   sec(h.Max()),
+	}
+}
+
 func writeJSON(path string, outcomes []*experiments.RecordedOutcome) error {
 	out := os.Stdout
 	if path != "-" {
@@ -251,5 +289,5 @@ func writeJSON(path string, outcomes []*experiments.RecordedOutcome) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(outcomes)
+	return enc.Encode(benchReport{Outcomes: outcomes, Latency: summarizeLatency(outcomes)})
 }

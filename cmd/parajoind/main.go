@@ -12,9 +12,12 @@
 // responses flush, new ones are refused, then it exits. A second signal
 // aborts the drain.
 //
-// With -debug-addr it also serves pprof profiles, expvar counters
+// With -debug-addr it also serves Prometheus metrics (/metrics), the live
+// in-flight query table (/debug/queries), pprof profiles, expvar counters
 // (including the parajoin_server admission stats), and recent trace events
-// over HTTP.
+// over HTTP. With -slow-log every query crossing -slow-log-threshold
+// appends one JSONL record with its stats, retry history, and the EXPLAIN
+// ANALYZE of the actual run.
 package main
 
 import (
@@ -61,8 +64,10 @@ func main() {
 		parallelism   = flag.Int("parallelism", 0, "intra-worker join parallelism: 0 auto, 1 serial, K>1 sub-joins per worker")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 		seed          = flag.Int64("seed", 1, "planner sampling seed")
-		debugAddr     = flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
+		debugAddr     = flag.String("debug-addr", "", "serve /metrics, pprof, expvar, and trace diagnostics on this address (e.g. :6060)")
 		traceFile     = flag.String("trace", "", "append query + engine trace events to this JSONL file")
+		slowLog       = flag.String("slow-log", "", "append a JSONL record (stats, retry history, EXPLAIN ANALYZE) for every slow query to this file")
+		slowThreshold = flag.Duration("slow-log-threshold", time.Second, "latency at which a query is logged to -slow-log (0 logs every query)")
 		retryBudget   = flag.Int("retry-budget", 2, "automatic re-executions after a retryable transport failure (0 or negative disables)")
 		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before the first re-execution, doubling per retry")
 		faultPlan     = flag.String("fault-plan", "", "deterministic fault-injection plan for chaos testing, e.g. 'seed=1;drop:exchange=0,nth=3' (see internal/fault)")
@@ -145,12 +150,23 @@ func main() {
 		log.Printf("debug endpoints on http://%s/debug/", got)
 	}
 
+	var slowLogFile *os.File
+	if *slowLog != "" {
+		var err error
+		slowLogFile, err = os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("slow log: %v", err)
+		}
+		defer slowLogFile.Close()
+		log.Printf("slow-query log: %s (threshold %v)", *slowLog, *slowThreshold)
+	}
+
 	// Config's zero value means "server default"; the flag's 0 means "off".
 	budget := *retryBudget
 	if budget <= 0 {
 		budget = -1
 	}
-	srv := server.New(db, server.Config{
+	cfg := server.Config{
 		MaxConcurrent:     *maxConcurrent,
 		MaxQueue:          *maxQueue,
 		MaxQueueWait:      *maxQueueWait,
@@ -161,7 +177,12 @@ func main() {
 		Tracer:            tracer,
 		RetryBudget:       budget,
 		RetryBackoff:      *retryBackoff,
-	})
+	}
+	if slowLogFile != nil {
+		cfg.SlowQueryLog = slowLogFile
+		cfg.SlowQueryThreshold = *slowThreshold
+	}
+	srv := server.New(db, cfg)
 
 	// Graceful drain on SIGINT/SIGTERM; a second signal aborts it.
 	sigs := make(chan os.Signal, 2)

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parajoin/internal/metrics"
 	"parajoin/internal/rel"
 	"parajoin/internal/spill"
 	"parajoin/internal/trace"
@@ -45,6 +46,11 @@ type exec struct {
 	// RunOpts → Cluster → default; 1 means the serial path).
 	parallelism int
 
+	// prog is the serving layer's live progress record for this query, found
+	// on the run context (nil when no serving layer is involved — every
+	// method tolerates nil, so hooks update unconditionally).
+	prog *metrics.QueryProgress
+
 	// runDir is created lazily by the first seal and removed when the run
 	// ends (any way it ends). spillSegs counts this run's sealed segments.
 	dirOnce   sync.Once
@@ -74,6 +80,7 @@ func (e *exec) wireID(exchangeID int) int {
 // operator that tripped the limit.
 func (e *exec) charge(worker int, n int64, op string) error {
 	if e.acct.Reserve(worker, n) {
+		e.prog.AddMemTuples(n)
 		return nil
 	}
 	e.acct.Blow(worker, op)
@@ -130,6 +137,7 @@ func (e *exec) spillConfig(worker, arity int, label string) spill.Config {
 		cfg.OnSpill = func(ev spill.Event) {
 			e.spills.Add(1)
 			e.spillSegs.Add(1)
+			e.prog.AddSpillBytes(ev.Bytes)
 			if e.tracer.Enabled() {
 				e.tracer.Emit(trace.Event{
 					Kind: trace.KindSpill, Run: e.epoch, Worker: worker, Exchange: -1,
@@ -533,6 +541,7 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 		spillBase:   c.runSpillDir(opts),
 		sealTuples:  c.SpillSealTuples,
 		parallelism: c.runParallelism(opts),
+		prog:        metrics.QueryFrom(ctx),
 	}
 	// The spill directory outlives every worker goroutine (wg.Wait happens
 	// first), so this single deferred removal covers success, error, and
@@ -600,6 +609,7 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 	}
 	wall := time.Since(start)
 	report := e.metrics.report(wall)
+	defer observeRound(report)
 	report.CPUTime = processCPU() - cpu0
 	report.PeakResidentTuples = e.acct.Peaks()
 	report.SpilledBytes = e.acct.DiskUsed()
@@ -669,6 +679,7 @@ func (e *exec) runRoot(root Node, w int) (*rel.Relation, error) {
 			if err != nil {
 				return nil, err
 			}
+			e.prog.AddTuples(int64(len(b)))
 			out.Tuples = append(out.Tuples, b...)
 		}
 	}
@@ -685,6 +696,7 @@ func (e *exec) runRoot(root Node, w int) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.prog.AddTuples(int64(len(b)))
 		for _, t := range b {
 			if err := buf.Add(t); err != nil {
 				return nil, e.spillErr(w, err)

@@ -1,0 +1,45 @@
+package engine
+
+import "parajoin/internal/metrics"
+
+// Round-level metrics, observed once per runFragments call (one
+// communication round). Together with the live batch counters in span.go
+// they give /metrics both instantaneous rates (counters) and distributions
+// (histograms) for the engine layer.
+var roundMetrics = struct {
+	seconds        *metrics.Histogram
+	shuffledTuples *metrics.Histogram
+	bytesSent      *metrics.Histogram
+	joinTasks      *metrics.Counter
+	joinSteal      *metrics.Histogram
+	spillBytes     *metrics.Histogram
+}{
+	seconds: metrics.Default.Histogram("parajoin_round_seconds",
+		"Wall time of one engine communication round.", metrics.DurationBuckets),
+	shuffledTuples: metrics.Default.Histogram("parajoin_round_shuffled_tuples",
+		"Tuples shuffled through exchanges in one round.", metrics.SizeBuckets),
+	bytesSent: metrics.Default.Histogram("parajoin_round_bytes_sent",
+		"Transport bytes sent in one round.", metrics.SizeBuckets),
+	joinTasks: metrics.Default.Counter("parajoin_join_tasks_total",
+		"Sub-range join tasks run by intra-worker parallel Tributary joins."),
+	joinSteal: metrics.Default.Histogram("parajoin_join_steal_depth",
+		"Most sub-ranges any single pool goroutine claimed in one round (load-balance measure).",
+		metrics.CountBuckets),
+	spillBytes: metrics.Default.Histogram("parajoin_round_spill_bytes",
+		"Bytes spilled to disk in one round (rounds that spilled only).",
+		metrics.SizeBuckets),
+}
+
+// observeRound records one finished round's report into the histograms.
+func observeRound(report *Report) {
+	roundMetrics.seconds.ObserveDuration(report.WallTime)
+	roundMetrics.shuffledTuples.Observe(float64(report.TotalTuplesShuffled()))
+	roundMetrics.bytesSent.Observe(float64(report.BytesSent))
+	roundMetrics.joinTasks.Add(report.JoinTasks)
+	if report.JoinTasks > 0 {
+		roundMetrics.joinSteal.Observe(float64(report.JoinStealMax))
+	}
+	if report.SpilledBytes > 0 {
+		roundMetrics.spillBytes.Observe(float64(report.SpilledBytes))
+	}
+}

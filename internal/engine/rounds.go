@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"parajoin/internal/metrics"
 	"parajoin/internal/rel"
 	"parajoin/internal/trace"
 )
@@ -143,8 +144,14 @@ func (c *Cluster) RunRoundsOpts(ctx context.Context, rounds []Round, opts RunOpt
 	// before the shared cluster storage.
 	temps := make(map[string][]*rel.Relation)
 
+	prog := metrics.QueryFrom(ctx)
 	var combined *Report
 	for i, round := range rounds {
+		if round.Name != "" {
+			prog.SetStage(fmt.Sprintf("executing %s (round %d/%d)", round.Name, i+1, len(rounds)))
+		} else {
+			prog.SetStage(fmt.Sprintf("executing round %d/%d", i+1, len(rounds)))
+		}
 		frags, report, err := c.runFragments(ctx, round.Plan, opts, temps)
 		combined = mergeReports(combined, report)
 		if err != nil {

@@ -3,9 +3,9 @@ package engine
 import (
 	"fmt"
 	"io"
-	"sync/atomic"
 	"time"
 
+	"parajoin/internal/metrics"
 	"parajoin/internal/rel"
 	"parajoin/internal/trace"
 )
@@ -92,29 +92,65 @@ func opLabel(n Node) string {
 	}
 }
 
-// live holds the process-wide engine counters the debug endpoint publishes
-// through expvar. They aggregate across every cluster in the process and
-// update at batch granularity, so the atomic traffic is negligible next to
-// the work it measures.
-var live struct {
-	runsStarted    atomic.Int64
-	runsCompleted  atomic.Int64
-	activeRuns     atomic.Int64
-	tuplesSent     atomic.Int64
-	tuplesReceived atomic.Int64
-	batchesSent    atomic.Int64
-	batchesRecv    atomic.Int64
-	bytesSent      atomic.Int64
-	bytesRecv      atomic.Int64
-	queueDepth     atomic.Int64
+// live holds the process-wide engine counters, registered in the metrics
+// registry (scraped at /metrics, bridged to the legacy "parajoin_engine"
+// expvar). They aggregate across every cluster in the process and update at
+// batch granularity, so the atomic traffic is negligible next to the work
+// it measures.
+var live = struct {
+	runsStarted    *metrics.Counter
+	runsCompleted  *metrics.Counter
+	activeRuns     *metrics.Gauge
+	tuplesSent     *metrics.Counter
+	tuplesReceived *metrics.Counter
+	batchesSent    *metrics.Counter
+	batchesRecv    *metrics.Counter
+	bytesSent      *metrics.Counter
+	bytesRecv      *metrics.Counter
+	queueDepth     *metrics.Gauge
 	// TCP self-healing counters: reconnects after peer loss, frames
 	// replayed from the unacked buffer, duplicate frames the receiver's
 	// dedup dropped, and heartbeat outcomes.
-	netReconnects       atomic.Int64
-	netFramesResent     atomic.Int64
-	netDupFramesDropped atomic.Int64
-	netHeartbeats       atomic.Int64
-	netHeartbeatMisses  atomic.Int64
+	netReconnects       *metrics.Counter
+	netFramesResent     *metrics.Counter
+	netDupFramesDropped *metrics.Counter
+	netHeartbeats       *metrics.Counter
+	netHeartbeatMisses  *metrics.Counter
+}{
+	runsStarted:   metrics.Default.Counter("parajoin_engine_runs_started_total", "Query runs started."),
+	runsCompleted: metrics.Default.Counter("parajoin_engine_runs_completed_total", "Query runs finished (any outcome)."),
+	activeRuns:    metrics.Default.Gauge("parajoin_engine_runs_active", "Query runs currently executing."),
+	tuplesSent: metrics.Default.Counter("parajoin_exchange_tuples_total",
+		"Tuples routed through exchanges.", metrics.Label{Name: "dir", Value: "sent"}),
+	tuplesReceived: metrics.Default.Counter("parajoin_exchange_tuples_total",
+		"Tuples routed through exchanges.", metrics.Label{Name: "dir", Value: "received"}),
+	batchesSent: metrics.Default.Counter("parajoin_exchange_batches_total",
+		"Exchange batches moved.", metrics.Label{Name: "dir", Value: "sent"}),
+	batchesRecv: metrics.Default.Counter("parajoin_exchange_batches_total",
+		"Exchange batches moved.", metrics.Label{Name: "dir", Value: "received"}),
+	bytesSent: metrics.Default.Counter("parajoin_exchange_bytes_total",
+		"Exchange payload bytes moved.", metrics.Label{Name: "dir", Value: "sent"}),
+	bytesRecv: metrics.Default.Counter("parajoin_exchange_bytes_total",
+		"Exchange payload bytes moved.", metrics.Label{Name: "dir", Value: "received"}),
+	queueDepth: metrics.Default.Gauge("parajoin_exchange_queue_depth",
+		"Batches enqueued in exchange channels right now."),
+	netReconnects: metrics.Default.Counter("parajoin_net_reconnects_total",
+		"TCP transport reconnects after peer loss."),
+	netFramesResent: metrics.Default.Counter("parajoin_net_frames_resent_total",
+		"Frames replayed from the unacked buffer after a reconnect."),
+	netDupFramesDropped: metrics.Default.Counter("parajoin_net_dup_frames_dropped_total",
+		"Duplicate frames dropped by receiver dedup."),
+	netHeartbeats: metrics.Default.Counter("parajoin_net_heartbeats_total",
+		"Heartbeat probes answered in time."),
+	netHeartbeatMisses: metrics.Default.Counter("parajoin_net_heartbeat_misses_total",
+		"Heartbeat probes that timed out."),
+}
+
+// init bridges the live counters to the legacy "parajoin_engine" expvar so
+// they stay visible at /debug/vars (and to expvar consumers with no debug
+// server at all — registration no longer depends on internal/debug).
+func init() {
+	metrics.PublishExpvar("parajoin_engine", func() any { return ReadLiveStats() })
 }
 
 // LiveStats is a snapshot of the process-wide engine counters.
@@ -141,20 +177,20 @@ type LiveStats struct {
 // as an expvar).
 func ReadLiveStats() LiveStats {
 	return LiveStats{
-		RunsStarted:         live.runsStarted.Load(),
-		RunsCompleted:       live.runsCompleted.Load(),
-		RunsActive:          live.activeRuns.Load(),
-		TuplesSent:          live.tuplesSent.Load(),
-		TuplesReceived:      live.tuplesReceived.Load(),
-		BatchesSent:         live.batchesSent.Load(),
-		BatchesReceived:     live.batchesRecv.Load(),
-		BytesSent:           live.bytesSent.Load(),
-		BytesReceived:       live.bytesRecv.Load(),
-		QueueDepth:          live.queueDepth.Load(),
-		NetReconnects:       live.netReconnects.Load(),
-		NetFramesResent:     live.netFramesResent.Load(),
-		NetDupFramesDropped: live.netDupFramesDropped.Load(),
-		NetHeartbeats:       live.netHeartbeats.Load(),
-		NetHeartbeatMisses:  live.netHeartbeatMisses.Load(),
+		RunsStarted:         live.runsStarted.Value(),
+		RunsCompleted:       live.runsCompleted.Value(),
+		RunsActive:          live.activeRuns.Value(),
+		TuplesSent:          live.tuplesSent.Value(),
+		TuplesReceived:      live.tuplesReceived.Value(),
+		BatchesSent:         live.batchesSent.Value(),
+		BatchesReceived:     live.batchesRecv.Value(),
+		BytesSent:           live.bytesSent.Value(),
+		BytesReceived:       live.bytesRecv.Value(),
+		QueueDepth:          live.queueDepth.Value(),
+		NetReconnects:       live.netReconnects.Value(),
+		NetFramesResent:     live.netFramesResent.Value(),
+		NetDupFramesDropped: live.netDupFramesDropped.Value(),
+		NetHeartbeats:       live.netHeartbeats.Value(),
+		NetHeartbeatMisses:  live.netHeartbeatMisses.Value(),
 	}
 }

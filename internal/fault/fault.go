@@ -285,6 +285,7 @@ func (i *Injector) decide(exchange, worker int, kinds ...Kind) []Rule {
 		if fire {
 			i.fired[k]++
 			i.stats[r.Kind]++
+			injectedTotal[r.Kind].Add(1)
 			out = append(out, r)
 		}
 	}

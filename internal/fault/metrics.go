@@ -1,0 +1,19 @@
+package fault
+
+import "parajoin/internal/metrics"
+
+// injectedTotal counts fired faults process-wide by kind, alongside each
+// injector's private stats — chaos runs show up on /metrics without the
+// caller having to poll Injected().
+var injectedTotal = map[Kind]*metrics.Counter{
+	KindDrop:    injectedCounter(KindDrop),
+	KindRecvErr: injectedCounter(KindRecvErr),
+	KindStall:   injectedCounter(KindStall),
+	KindCrash:   injectedCounter(KindCrash),
+}
+
+func injectedCounter(k Kind) *metrics.Counter {
+	return metrics.Default.Counter("parajoin_faults_injected_total",
+		"Faults fired by the deterministic injector.",
+		metrics.Label{Name: "kind", Value: string(k)})
+}

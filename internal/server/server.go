@@ -3,8 +3,8 @@ package server
 import (
 	"context"
 	"errors"
-	"expvar"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"strings"
@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"parajoin"
+	"parajoin/internal/metrics"
 	"parajoin/internal/trace"
 	"parajoin/internal/wire"
 )
@@ -58,6 +59,15 @@ type Config struct {
 	// Tracer receives a KindQuery span per query (admission outcome,
 	// latency, rows). Nil disables serving-layer tracing.
 	Tracer *trace.Tracer
+	// SlowQueryLog receives one JSON line per query whose end-to-end
+	// latency reaches SlowQueryThreshold: rule, outcome, stage timings,
+	// retry history, engine stats, and the EXPLAIN ANALYZE of the actual
+	// run (captured in-flight — slow queries are never re-executed to
+	// explain them). Nil disables the slow log.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the latency at which a query is considered
+	// slow; 0 with a non-nil SlowQueryLog logs every query.
+	SlowQueryThreshold time.Duration
 	// Logf logs serving events (connects, disconnects, drain); nil uses
 	// log.Printf. Use a no-op func to silence.
 	Logf func(format string, args ...any)
@@ -112,6 +122,9 @@ type Server struct {
 	shutdown bool
 
 	loads atomic.Int64
+
+	slowMu     sync.Mutex // serializes slow-log lines
+	slowLogErr atomic.Bool
 }
 
 // New creates a server over db. The caller keeps ownership of db (Shutdown
@@ -440,15 +453,43 @@ func (ss *session) query(req *wire.Request) {
 	seq := srv.querySeq.Add(1)
 	start := time.Now()
 	attempts := int64(0)
+	var (
+		waited     time.Duration
+		retryCause string
+	)
 	srv.cfg.Tracer.Emit(trace.Event{
 		Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1, Name: "start",
 	})
-	outcome := func(name string, rows int64) {
+
+	// Live progress: /debug/queries shows this record until the response is
+	// written; the engine updates stage/tuples/spill through the run context.
+	prog := metrics.NewQueryProgress(seq, req.Rule)
+	metrics.TrackQuery(prog)
+	defer metrics.UntrackQuery(prog)
+	queryMetrics.inflight.Add(1)
+	defer queryMetrics.inflight.Add(-1)
+
+	// outcome closes the query's observability span: the KindQuery trace
+	// event, the per-outcome latency histogram, and (when the latency
+	// crossed the threshold) one slow-log line.
+	outcome := func(name string, rows int64, st *wire.Stats, explain string, qerr error) {
+		elapsed := time.Since(start)
+		observeQueryDone(name, elapsed)
 		srv.cfg.Tracer.Emit(trace.Event{
 			Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1,
-			Name: name, Tuples: rows, Dur: time.Since(start), Attempts: attempts,
+			Name: name, Tuples: rows, Dur: elapsed, Attempts: attempts,
 		})
 		srv.cfg.Tracer.Flush()
+		errStr := ""
+		if qerr != nil {
+			errStr = qerr.Error()
+		}
+		srv.logSlowQuery(elapsed, slowLogRecord{
+			Time: time.Now(), Query: seq, Op: req.Op, Rule: req.Rule,
+			Outcome: name, QueueWait: waited.Seconds(), Attempts: attempts,
+			RetryCause: retryCause, Rows: rows, Err: errStr,
+			Stats: st, Explain: explain,
+		})
 	}
 
 	// Per-query deadline and cancellation: the context dies when the client
@@ -458,6 +499,7 @@ func (ss *session) query(req *wire.Request) {
 	defer cancel(nil)
 	runCtx, cancelTimeout := context.WithTimeout(ctx, srv.timeoutFor(req))
 	defer cancelTimeout()
+	runCtx = metrics.WithQuery(runCtx, prog)
 	ss.mu.Lock()
 	ss.cancels[req.ID] = cancel
 	ss.mu.Unlock()
@@ -471,19 +513,19 @@ func (ss *session) query(req *wire.Request) {
 	// consuming a slot, and retries re-execute the already-validated query.
 	strategy, err := parseStrategy(req.Strategy)
 	if err != nil {
-		outcome(wire.CodeBadRequest, 0)
+		outcome(wire.CodeBadRequest, 0, nil, "", err)
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
 	q, err := srv.db.Query(req.Rule)
 	if err != nil {
-		outcome(wire.CodeBadRequest, 0)
+		outcome(wire.CodeBadRequest, 0, nil, "", err)
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
 	spillPolicy, err := srv.spillFor(req)
 	if err != nil {
-		outcome(wire.CodeBadRequest, 0)
+		outcome(wire.CodeBadRequest, 0, nil, "", err)
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
@@ -491,26 +533,35 @@ func (ss *session) query(req *wire.Request) {
 		Strategy:       strategy,
 		MaxLocalTuples: srv.budgetFor(req),
 		Spill:          spillPolicy,
+		// With the slow log armed every run captures its EXPLAIN ANALYZE
+		// in-flight, so a threshold-crossing query can be explained without
+		// re-executing it.
+		Explain: srv.slowLogEnabled(),
 	}
 
 	var (
-		resp       *wire.Response
-		rows       int64
-		waited     time.Duration
-		retryCause string
+		resp    *wire.Response
+		rows    int64
+		explain string
 	)
 	for {
 		attempts++
+		prog.SetAttempt(attempts)
+		prog.SetStage("queued")
 		// Admission: a free slot, a bounded FIFO wait, or a typed rejection.
 		release, w, err := srv.gate.acquire(runCtx)
 		if err != nil {
 			code := errCode(err)
-			outcome(code, 0)
+			outcome(code, 0, nil, "", err)
 			ss.fail(req.ID, code, err)
 			return
 		}
 		waited += w
-		resp, rows, err = ss.execute(req, q, strategy, opts, runCtx)
+		queryMetrics.queueWait.ObserveDuration(w)
+		prog.SetStage("planning")
+		execStart := time.Now()
+		resp, rows, explain, err = ss.execute(req, q, strategy, opts, runCtx)
+		queryMetrics.exec.ObserveDuration(time.Since(execStart))
 		// Released between attempts (and before the backoff sleep) so a
 		// retrying query never starves other admitted work; the response is
 		// written before the final release below, so a drained server still
@@ -522,24 +573,25 @@ func (ss *session) query(req *wire.Request) {
 		release()
 		if !parajoin.Retryable(err) {
 			code := errCode(err)
-			outcome(code, 0)
+			outcome(code, 0, nil, "", err)
 			ss.fail(req.ID, code, err)
 			return
 		}
 		if srv.cfg.RetryBudget < 0 {
 			// Retries disabled: surface the transport failure as-is.
 			code := errCode(err)
-			outcome(code, 0)
+			outcome(code, 0, nil, "", err)
 			ss.fail(req.ID, code, err)
 			return
 		}
 		if attempts > int64(srv.cfg.RetryBudget) {
 			err = fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, attempts, err)
-			outcome(wire.CodeRetriesExhausted, 0)
+			outcome(wire.CodeRetriesExhausted, 0, nil, "", err)
 			ss.fail(req.ID, wire.CodeRetriesExhausted, err)
 			return
 		}
 		retryCause = err.Error()
+		queryMetrics.retries.Inc()
 		srv.cfg.Tracer.Emit(trace.Event{
 			Kind: trace.KindRetry, Run: seq, Worker: -1, Exchange: -1,
 			Name: retryCause, Attempts: attempts + 1,
@@ -556,7 +608,7 @@ func (ss *session) query(req *wire.Request) {
 			timer.Stop()
 			err := context.Cause(runCtx)
 			code := errCode(err)
-			outcome(code, 0)
+			outcome(code, 0, nil, "", err)
 			ss.fail(req.ID, code, err)
 			return
 		}
@@ -566,40 +618,43 @@ func (ss *session) query(req *wire.Request) {
 		resp.Stats.Attempts = attempts
 		resp.Stats.RetryCause = retryCause
 	}
-	outcome("ok", rows)
+	outcome("ok", rows, resp.Stats, explain, nil)
 	ss.reply(resp)
 }
 
-// execute runs a single attempt of an evaluation op.
-func (ss *session) execute(req *wire.Request, q *parajoin.Query, strategy parajoin.Strategy, opts parajoin.RunOptions, runCtx context.Context) (*wire.Response, int64, error) {
+// execute runs a single attempt of an evaluation op. The returned explain
+// string is the run's in-flight EXPLAIN ANALYZE capture (empty unless
+// RunOptions.Explain was set) — it feeds the slow-query log, not the wire
+// response.
+func (ss *session) execute(req *wire.Request, q *parajoin.Query, strategy parajoin.Strategy, opts parajoin.RunOptions, runCtx context.Context) (*wire.Response, int64, string, error) {
 	resp := &wire.Response{ID: req.ID}
 	switch req.Op {
 	case wire.OpRun:
 		res, err := q.RunWithOptions(runCtx, opts)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 		resp.Columns = res.Columns
 		resp.Rows = res.Rows
 		resp.Stats = wireStats(&res.Stats)
-		return resp, int64(len(res.Rows)), nil
+		return resp, int64(len(res.Rows)), res.Stats.Explain, nil
 
 	case wire.OpCount:
 		n, st, err := q.CountWithOptions(runCtx, opts)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 		resp.Count = n
 		resp.Stats = wireStats(st)
-		return resp, n, nil
+		return resp, n, st.Explain, nil
 
 	default: // wire.OpExplain (dispatch admits no other op here)
 		out, err := q.ExplainAnalyze(runCtx, strategy)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, "", err
 		}
 		resp.Explain = out
-		return resp, 0, nil
+		return resp, 0, out, nil
 	}
 }
 
@@ -650,33 +705,30 @@ func errCode(err error) string {
 var (
 	registryMu sync.Mutex
 	registry   = make(map[*Server]struct{})
-	publish    sync.Once
 )
 
 func registerServer(s *Server) {
 	registryMu.Lock()
 	registry[s] = struct{}{}
 	registryMu.Unlock()
-	publish.Do(func() {
-		expvar.Publish("parajoin_server", expvar.Func(func() any {
-			registryMu.Lock()
-			defer registryMu.Unlock()
-			var total Stats
-			for s := range registry {
-				st := s.Stats()
-				total.Sessions += st.Sessions
-				total.Loads += st.Loads
-				total.Gate.InFlight += st.Gate.InFlight
-				total.Gate.Queued += st.Gate.Queued
-				total.Gate.Admitted += st.Gate.Admitted
-				total.Gate.Completed += st.Gate.Completed
-				total.Gate.RejectedQueueFull += st.Gate.RejectedQueueFull
-				total.Gate.RejectedQueueWait += st.Gate.RejectedQueueWait
-				total.Gate.CanceledInQueue += st.Gate.CanceledInQueue
-				total.Gate.Draining = total.Gate.Draining || st.Gate.Draining
-			}
-			return total
-		}))
+	metrics.PublishExpvar("parajoin_server", func() any {
+		registryMu.Lock()
+		defer registryMu.Unlock()
+		var total Stats
+		for s := range registry {
+			st := s.Stats()
+			total.Sessions += st.Sessions
+			total.Loads += st.Loads
+			total.Gate.InFlight += st.Gate.InFlight
+			total.Gate.Queued += st.Gate.Queued
+			total.Gate.Admitted += st.Gate.Admitted
+			total.Gate.Completed += st.Gate.Completed
+			total.Gate.RejectedQueueFull += st.Gate.RejectedQueueFull
+			total.Gate.RejectedQueueWait += st.Gate.RejectedQueueWait
+			total.Gate.CanceledInQueue += st.Gate.CanceledInQueue
+			total.Gate.Draining = total.Gate.Draining || st.Gate.Draining
+		}
+		return total
 	})
 }
 

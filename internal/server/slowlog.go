@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"time"
+
+	"parajoin/internal/wire"
+)
+
+// slowLogRecord is one JSONL line in the slow-query log: everything an
+// operator needs to understand a slow query after the fact — the rule, the
+// outcome, the stage timings, the retry history, the engine stats, and the
+// EXPLAIN ANALYZE of the actual run (captured in-flight, not re-executed).
+type slowLogRecord struct {
+	Time      time.Time `json:"time"`
+	Query     int64     `json:"query"`
+	Op        string    `json:"op"`
+	Rule      string    `json:"rule"`
+	Outcome   string    `json:"outcome"`
+	Elapsed   float64   `json:"elapsed_seconds"`
+	QueueWait float64   `json:"queue_wait_seconds"`
+	Attempts  int64     `json:"attempts"`
+	// RetryCause is the error behind the last automatic re-execution
+	// (empty when the query succeeded first try).
+	RetryCause string      `json:"retry_cause,omitempty"`
+	Rows       int64       `json:"rows"`
+	Err        string      `json:"err,omitempty"`
+	Stats      *wire.Stats `json:"stats,omitempty"`
+	// Explain is the EXPLAIN ANALYZE rendering of the run that crossed the
+	// threshold (present when the run got far enough to produce one).
+	Explain string `json:"explain,omitempty"`
+}
+
+// slowLogEnabled reports whether finished queries should be considered for
+// the slow log at all.
+func (s *Server) slowLogEnabled() bool {
+	return s.cfg.SlowQueryLog != nil
+}
+
+// logSlowQuery writes rec as one JSON line when the query's latency crossed
+// the configured threshold. A threshold of 0 logs every query (useful in
+// tests and short traffic captures). Write errors are logged once via Logf
+// and otherwise ignored — the slow log must never fail a query.
+func (s *Server) logSlowQuery(elapsed time.Duration, rec slowLogRecord) {
+	if !s.slowLogEnabled() || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	rec.Elapsed = elapsed.Seconds()
+	queryMetrics.slow.Inc()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.slowMu.Lock()
+	_, werr := s.cfg.SlowQueryLog.Write(line)
+	s.slowMu.Unlock()
+	if werr != nil && !s.slowLogErr.Swap(true) {
+		s.cfg.Logf("slow-query log write failed: %v (further errors suppressed)", werr)
+	}
+}

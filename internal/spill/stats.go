@@ -1,17 +1,36 @@
 package spill
 
-import "sync/atomic"
+import "parajoin/internal/metrics"
 
-// counters are the process-wide spill counters behind the
-// parajoin_spill_* expvars (published by internal/debug). They aggregate
-// across every run and cluster in the process.
-var counters struct {
-	spills       atomic.Int64 // runs sealed to disk
-	segments     atomic.Int64 // segment files finished
-	bytesWritten atomic.Int64
-	bytesRead    atomic.Int64
-	dirsCreated  atomic.Int64
-	activeDirs   atomic.Int64
+// counters are the process-wide spill counters, registered in the metrics
+// registry (scraped at /metrics) and bridged to the legacy "parajoin_spill"
+// expvar. They aggregate across every run and cluster in the process.
+var counters = struct {
+	spills       *metrics.Counter // runs sealed to disk
+	segments     *metrics.Counter // segment files finished
+	bytesWritten *metrics.Counter
+	bytesRead    *metrics.Counter
+	dirsCreated  *metrics.Counter
+	activeDirs   *metrics.Gauge
+}{
+	spills: metrics.Default.Counter("parajoin_spill_seals_total",
+		"In-memory runs sealed to disk."),
+	segments: metrics.Default.Counter("parajoin_spill_segments_total",
+		"Spill segment files written."),
+	bytesWritten: metrics.Default.Counter("parajoin_spill_bytes_total",
+		"Spill segment I/O bytes.", metrics.Label{Name: "dir", Value: "written"}),
+	bytesRead: metrics.Default.Counter("parajoin_spill_bytes_total",
+		"Spill segment I/O bytes.", metrics.Label{Name: "dir", Value: "read"}),
+	dirsCreated: metrics.Default.Counter("parajoin_spill_dirs_created_total",
+		"Per-run spill directories ever created."),
+	activeDirs: metrics.Default.Gauge("parajoin_spill_dirs_active",
+		"Spill directories currently on disk (a steady positive value between runs means a cleanup leak)."),
+}
+
+// init bridges the counters to the legacy "parajoin_spill" expvar so they
+// stay visible at /debug/vars without depending on internal/debug.
+func init() {
+	metrics.PublishExpvar("parajoin_spill", func() any { return ReadStats() })
 }
 
 // Stats is a snapshot of the process-wide spill counters.
@@ -33,11 +52,11 @@ type Stats struct {
 // ReadStats snapshots the process-wide counters.
 func ReadStats() Stats {
 	return Stats{
-		Spills:       counters.spills.Load(),
-		Segments:     counters.segments.Load(),
-		BytesWritten: counters.bytesWritten.Load(),
-		BytesRead:    counters.bytesRead.Load(),
-		DirsCreated:  counters.dirsCreated.Load(),
-		ActiveDirs:   counters.activeDirs.Load(),
+		Spills:       counters.spills.Value(),
+		Segments:     counters.segments.Value(),
+		BytesWritten: counters.bytesWritten.Value(),
+		BytesRead:    counters.bytesRead.Value(),
+		DirsCreated:  counters.dirsCreated.Value(),
+		ActiveDirs:   counters.activeDirs.Value(),
 	}
 }

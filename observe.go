@@ -3,8 +3,10 @@ package parajoin
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"parajoin/internal/engine"
+	"parajoin/internal/metrics"
 	"parajoin/internal/trace"
 )
 
@@ -65,3 +67,37 @@ func (q *Query) ExplainAnalyze(ctx context.Context, s Strategy) (string, error) 
 	}
 	return engine.ExplainAnalyze(res.Rounds, col.Events(), report), nil
 }
+
+// explainOpts resolves a run's engine options, attaching an event collector
+// when RunOptions.Explain asks for an in-flight EXPLAIN ANALYZE capture. A
+// tracer attached with WithTracer still receives the run's events.
+func (db *DB) explainOpts(opts RunOptions) (engine.RunOpts, *trace.Collector) {
+	eopts := opts.engineOpts()
+	if !opts.Explain {
+		return eopts, nil
+	}
+	col := trace.NewCollector()
+	sink := trace.Sink(col)
+	if t := db.cluster.Tracer; t.Enabled() {
+		sink = trace.MultiSink(col, t.Sink())
+	}
+	eopts.Tracer = trace.New(sink)
+	return eopts, col
+}
+
+// planSeconds is the planning-stage latency histogram (Auto resolution,
+// share optimization, variable-order search) observed by every planFor.
+var planSeconds = metrics.Default.Histogram("parajoin_query_plan_seconds",
+	"Query planning latency: strategy resolution, share optimization, variable-order search.",
+	metrics.DurationBuckets)
+
+// MetricsHandler returns an http.Handler serving the process-wide metrics
+// registry in the Prometheus text format — every parajoin subsystem
+// (engine, transports, spill, serving layer) registers its counters and
+// histograms there. internal/debug mounts it at /metrics; embedders can
+// mount it on their own mux.
+func MetricsHandler() http.Handler { return metrics.Handler() }
+
+// WriteMetrics writes the process-wide metrics registry to w in the
+// Prometheus text exposition format.
+func WriteMetrics(w io.Writer) { metrics.Default.WritePrometheus(w) }

@@ -379,6 +379,8 @@ func (q *Query) Run(ctx context.Context) (*Result, error) {
 
 // planFor resolves Auto and plans the query under the chosen strategy.
 func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, error) {
+	planStart := time.Now()
+	defer func() { planSeconds.ObserveDuration(time.Since(planStart)) }()
 	db := q.db
 	db.mu.Lock()
 	catalog := stats.NewCatalog()
@@ -430,6 +432,12 @@ type RunOptions struct {
 	// for this query: 0 inherits, a negative value forces the serial path,
 	// K>0 allows up to K concurrent sub-joins per worker.
 	Parallelism int
+	// Explain captures the run's EXPLAIN ANALYZE rendering into
+	// Stats.Explain: tracing is forced on for the run and the annotated
+	// physical plan is built from the events of the actual execution — the
+	// query is not re-run. The serving layer uses it to explain slow
+	// queries after the fact.
+	Explain bool
 }
 
 func (o RunOptions) strategy() Strategy {
@@ -460,9 +468,10 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	eopts, col := db.explainOpts(opts)
 
 	start := time.Now()
-	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, opts.engineOpts())
+	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, eopts)
 	if err != nil {
 		return nil, err
 	}
@@ -483,6 +492,9 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 		},
 	}
 	result.Stats.fromReport(report)
+	if col != nil {
+		result.Stats.Explain = engine.ExplainAnalyze(res.Rounds, col.Events(), report)
+	}
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
 	}
@@ -528,9 +540,10 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 	if err := planner.WrapCount(res, q.q.IsFull(), headCols); err != nil {
 		return 0, nil, err
 	}
+	eopts, col := db.explainOpts(opts)
 
 	start := time.Now()
-	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, opts.engineOpts())
+	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, eopts)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -547,6 +560,9 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 		MaxConsumerSkew: report.MaxConsumerSkew(),
 	}
 	st.fromReport(report)
+	if col != nil {
+		st.Explain = engine.ExplainAnalyze(res.Rounds, col.Events(), report)
+	}
 	return total, st, nil
 }
 
@@ -584,6 +600,9 @@ type Stats struct {
 	// balance measure (close to JoinTasks/K means balanced).
 	JoinTasks    int64
 	JoinStealMax int64
+	// Explain is the run's EXPLAIN ANALYZE rendering, captured from the
+	// actual execution when RunOptions.Explain was set (empty otherwise).
+	Explain string
 }
 
 // fromReport copies the report's spill and parallel-join counters into a
