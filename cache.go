@@ -1,0 +1,171 @@
+package parajoin
+
+import (
+	"context"
+
+	"parajoin/internal/cache"
+	"parajoin/internal/core"
+)
+
+// WithPlanCache enables the plan cache: queries whose normalized shape
+// (atom structure with constants lifted to parameters) was planned before
+// at the current catalog epoch skip strategy resolution, HyperCube share
+// optimization, and the Tributary order search, rebuilding only the cheap
+// physical plan. entries caps the cached shapes (<= 0 takes a default of
+// 256). Any Load or Drop advances the catalog epoch and makes prior
+// entries unreachable, so cached decisions never outlive the statistics
+// they were computed from.
+func WithPlanCache(entries int) Option {
+	return func(db *DB) { db.planCache = cache.NewPlanCache(entries) }
+}
+
+// WithResultCache enables the result cache: a repeated (shape, arguments,
+// strategy) query at an unchanged catalog epoch replays its materialized
+// answer byte-identically without executing. tuples bounds the total
+// resident tuples across entries, evicted LRU (<= 0 takes a default of
+// 1Mi). Runs with EXPLAIN capture, under chaos fault injection, or with a
+// resolved spill policy of SpillAlways bypass the cache in both
+// directions.
+func WithResultCache(tuples int64) Option {
+	return func(db *DB) { db.resultCache = cache.NewResultCache(tuples) }
+}
+
+// resolvedSpill resolves a run's effective spill policy (RunOptions
+// overrides the DB-wide policy).
+func (db *DB) resolvedSpill(opts RunOptions) SpillPolicy {
+	if opts.Spill != SpillDefault {
+		return opts.Spill
+	}
+	return db.cluster.SpillPolicy
+}
+
+// resultProbe decides whether a run may use the result cache and, when it
+// may, returns its key and the catalog epoch the probe is valid for. The
+// bypass rules: no cache configured, EXPLAIN capture requested (the caller
+// wants execution detail), a chaos fault plan wraps the transport (runs
+// may fail or retry nondeterministically), or the run resolves to
+// SpillAlways (a rehearsal mode whose point is exercising the spill path).
+func (db *DB) resultProbe(q *core.Query, op string, opts RunOptions) (key string, epoch int64, ok bool) {
+	if db.resultCache == nil || opts.Explain || db.chaos || db.resolvedSpill(opts) == SpillAlways {
+		return "", 0, false
+	}
+	shape := cache.Normalize(q)
+	return shape.ResultKey(op, string(opts.strategy())), db.cluster.DataEpoch(), true
+}
+
+// explainWithPlanOrigin prefixes an EXPLAIN ANALYZE rendering with the
+// plan's origin when it was rebuilt from the plan cache.
+func explainWithPlanOrigin(explain string, planCached bool) string {
+	if !planCached || explain == "" {
+		return explain
+	}
+	return "plan: cached\n" + explain
+}
+
+// Prepared is a parameterized query: a rule with "?" placeholders, parsed
+// and validated once, executed many times with different arguments.
+// Executions share one plan-cache entry with each other and with ad-hoc
+// queries of the same shape.
+type Prepared struct {
+	db *DB
+	q  *core.Query
+}
+
+// Prepare parses a datalog rule that may contain "?" positional parameter
+// placeholders in term or filter positions:
+//
+//	Follows(x) :- E(?, x), E(x, ?)
+//
+// The rule's atoms are validated against the loaded relations now;
+// arguments are supplied per execution.
+func (db *DB) Prepare(rule string) (*Prepared, error) {
+	q, err := core.ParseRule(rule, db.dict)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.checkAtoms(q); err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, q: q}, nil
+}
+
+// NumParams returns the number of "?" placeholders.
+func (p *Prepared) NumParams() int { return p.q.NumParams() }
+
+// String renders the rule with "?" placeholders.
+func (p *Prepared) String() string { return p.q.String() }
+
+// Bind substitutes args for the placeholders and returns the bound query,
+// ready to Run/Count under any options.
+func (p *Prepared) Bind(args ...int64) (*Query, error) {
+	bound, err := p.q.Bind(args)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{db: p.db, q: bound}, nil
+}
+
+// Execute binds args and runs the query with the Auto strategy.
+func (p *Prepared) Execute(ctx context.Context, args ...int64) (*Result, error) {
+	return p.ExecuteWithOptions(ctx, RunOptions{}, args...)
+}
+
+// ExecuteWithOptions binds args and runs the query with explicit options.
+func (p *Prepared) ExecuteWithOptions(ctx context.Context, opts RunOptions, args ...int64) (*Result, error) {
+	q, err := p.Bind(args...)
+	if err != nil {
+		return nil, err
+	}
+	return q.RunWithOptions(ctx, opts)
+}
+
+// Count binds args and returns only the answer count.
+func (p *Prepared) Count(ctx context.Context, args ...int64) (int64, *Stats, error) {
+	q, err := p.Bind(args...)
+	if err != nil {
+		return 0, nil, err
+	}
+	return q.CountWithOptions(ctx, RunOptions{})
+}
+
+// CacheCounters is a point-in-time snapshot of one cache's activity.
+type CacheCounters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the resident entry count; Tuples and Bytes are the result
+	// cache's residency (always zero for the plan cache).
+	Entries int
+	Tuples  int64
+	Bytes   int64
+}
+
+// CacheStats describes both caches' state for this database. The
+// process-wide /metrics families (parajoin_cache_*) aggregate across all
+// databases in the process; these counters are per-DB.
+type CacheStats struct {
+	PlanEnabled   bool
+	Plan          CacheCounters
+	ResultEnabled bool
+	Result        CacheCounters
+}
+
+// CacheStats snapshots the database's cache activity.
+func (db *DB) CacheStats() CacheStats {
+	var cs CacheStats
+	if db.planCache != nil {
+		cs.PlanEnabled = true
+		cs.Plan = CacheCounters(db.planCache.Counters())
+	}
+	if db.resultCache != nil {
+		cs.ResultEnabled = true
+		cs.Result = CacheCounters(db.resultCache.Counters())
+	}
+	return cs
+}
+
+// DataEpoch returns the database's catalog mutation epoch: it advances on
+// every Load (any path — rows, edges, CSV, synthetic generation), so two
+// equal epochs bracket an interval with no data changes. Cached plans and
+// results are keyed on it.
+func (db *DB) DataEpoch() int64 { return db.cluster.DataEpoch() }

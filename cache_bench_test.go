@@ -1,0 +1,73 @@
+package parajoin
+
+import (
+	"context"
+	"testing"
+)
+
+// Plan-cache benchmarks: planning cost for join queries is dominated by
+// the sampled variable-order search (and share optimization), which the
+// plan cache skips on a shape hit. Compare:
+//
+//	go test -bench 'PlanOnly|FiveCycle' -benchtime 20x .
+
+func cacheBenchDB(b *testing.B, planCache bool) *DB {
+	b.Helper()
+	opts := []Option{WithSeed(7)}
+	if planCache {
+		opts = append(opts, WithPlanCache(0))
+	}
+	db := Open(4, opts...)
+	b.Cleanup(func() { db.Close() })
+	if err := db.LoadEdges("E", SyntheticGraph(20000, 1200, 5)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// benchPlanOnly times planFor alone — the planning component the cache
+// accelerates — for a two-hop parameterized query.
+func benchPlanOnly(b *testing.B, planCache bool) {
+	db := cacheBenchDB(b, planCache)
+	p, err := db.Prepare("R(x,z) :- E(x,y), E(y,z), E(z,?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := p.Bind(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := q.planFor(Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanOnlyCold(b *testing.B)   { benchPlanOnly(b, false) }
+func BenchmarkPlanOnlyCached(b *testing.B) { benchPlanOnly(b, true) }
+
+// benchFiveCycle runs a 5-variable cycle end to end: the order search over
+// five variables makes planning the dominant cost, so the plan cache cuts
+// total latency, not just planning time.
+func benchFiveCycle(b *testing.B, planCache bool) {
+	db := cacheBenchDB(b, planCache)
+	p, err := db.Prepare("R(v,w,x,y,z) :- E(v,w), E(w,x), E(x,y), E(y,z), E(z,v), E(v,?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := p.Execute(ctx, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Execute(ctx, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiveCycleCold(b *testing.B)   { benchFiveCycle(b, false) }
+func BenchmarkFiveCycleCached(b *testing.B) { benchFiveCycle(b, true) }

@@ -50,6 +50,10 @@ var (
 	// ErrConnClosed: this client's connection is gone (Close was called or
 	// the server went away); in-flight and future calls fail with it.
 	ErrConnClosed = errors.New("parajoind: connection closed")
+	// ErrUnsupported: the server does not understand the request's frame —
+	// it speaks an older protocol. Degrade (e.g. fall back from
+	// Prepare/Execute to plain Run); the connection itself stays healthy.
+	ErrUnsupported = errors.New("parajoind: unsupported frame")
 )
 
 // ServerError is a failure reported by the server. It unwraps to the typed
@@ -79,6 +83,8 @@ func (e *ServerError) Unwrap() error {
 		return context.Canceled
 	case wire.CodeDeadline:
 		return context.DeadlineExceeded
+	case wire.CodeUnsupportedFrame:
+		return ErrUnsupported
 	}
 	return nil
 }
@@ -146,6 +152,12 @@ type Stats struct {
 	// RetryCause is the last error that triggered a re-execution.
 	Attempts   int64
 	RetryCause string
+	// PlanCached: the server rebuilt the plan from cached optimizer
+	// decisions instead of re-running beam search and share optimization.
+	// ResultCached: the server replayed the answer from its result cache
+	// without executing at all.
+	PlanCached   bool
+	ResultCached bool
 }
 
 // Result is a query's rows plus its stats.
@@ -172,7 +184,16 @@ type Client struct {
 	err     error // set once the connection dies
 
 	nextID atomic.Uint64
+
+	// protoSent flips once the first request has advertised our protocol
+	// version; serverProto remembers the version the server echoed back.
+	protoSent   atomic.Bool
+	serverProto atomic.Int64
 }
+
+// ServerProto reports the protocol version the server has echoed back, or 0
+// if no response carried one yet (a version-1 server never echoes).
+func (c *Client) ServerProto() int { return int(c.serverProto.Load()) }
 
 // Dial connects to a parajoind server, retrying with exponential backoff if
 // the server isn't accepting yet.
@@ -243,6 +264,9 @@ func (c *Client) fail(err error) {
 // server's slot accounting and the connection framing stay consistent.
 func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	req.ID = c.nextID.Add(1)
+	if c.protoSent.CompareAndSwap(false, true) {
+		req.Proto = wire.ProtoVersion
+	}
 	ch := make(chan *wire.Response, 1)
 
 	c.mu.Lock()
@@ -286,6 +310,9 @@ func (c *Client) finish(resp *wire.Response, ok bool) (*wire.Response, error) {
 			err = ErrConnClosed
 		}
 		return nil, err
+	}
+	if resp.Proto != 0 {
+		c.serverProto.Store(int64(resp.Proto))
 	}
 	if resp.ErrCode != "" {
 		return nil, &ServerError{Code: resp.ErrCode, Msg: resp.Err}
@@ -360,6 +387,8 @@ func statsOf(w *wire.Stats) Stats {
 		SpillSegments:      w.SpillSegments,
 		Attempts:           w.Attempts,
 		RetryCause:         w.RetryCause,
+		PlanCached:         w.PlanCached,
+		ResultCached:       w.ResultCached,
 	}
 }
 
@@ -388,4 +417,59 @@ func (c *Client) Explain(ctx context.Context, rule string, opts QueryOptions) (s
 		return "", err
 	}
 	return resp.Explain, nil
+}
+
+// Stmt is a server-side prepared statement, owned by the connection that
+// prepared it. Executing the same statement repeatedly lets the server hit
+// its plan cache (the parse and shape-normalization work happen once at
+// prepare time) and, for identical arguments over unchanged data, its
+// result cache.
+type Stmt struct {
+	c      *Client
+	id     uint64
+	params int
+	rule   string
+}
+
+// Prepare parses and validates a rule (which may contain "?" parameter
+// placeholders) into a server-side statement. errors.Is(err, ErrUnsupported)
+// means the server predates prepared statements — fall back to Run with the
+// constants inlined.
+func (c *Client) Prepare(ctx context.Context, rule string) (*Stmt, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpPrepare, Rule: rule})
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: resp.Stmt, params: resp.Params, rule: rule}, nil
+}
+
+// NumParams is the number of "?" placeholders the statement binds.
+func (s *Stmt) NumParams() int { return s.params }
+
+// String returns the rule text the statement was prepared from.
+func (s *Stmt) String() string { return s.rule }
+
+// Execute runs the statement with args bound to its "?" placeholders in
+// order, under default query options.
+func (s *Stmt) Execute(ctx context.Context, args ...int64) (*Result, error) {
+	return s.ExecuteWith(ctx, QueryOptions{}, args...)
+}
+
+// ExecuteWith is Execute with per-call query options.
+func (s *Stmt) ExecuteWith(ctx context.Context, opts QueryOptions, args ...int64) (*Result, error) {
+	req := queryReq(wire.OpExecute, "", opts)
+	req.Stmt = s.id
+	req.Args = args
+	resp, err := s.c.call(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: resp.Rows, Stats: statsOf(resp.Stats)}, nil
+}
+
+// Close frees the statement on the server. Closing twice is harmless, and
+// statements are freed automatically when the connection ends.
+func (s *Stmt) Close(ctx context.Context) error {
+	_, err := s.c.call(ctx, &wire.Request{Op: wire.OpCloseStmt, Stmt: s.id})
+	return err
 }

@@ -28,6 +28,27 @@ import (
 type report struct {
 	Outcomes []*experiments.RecordedOutcome
 	Latency  latency
+	Replay   *replay
+}
+
+// replay mirrors benchrunner's -replay-zipf report.
+type replay struct {
+	Zipf    float64
+	Queries int
+	Shapes  int
+	Arms    []replayArm
+	// P50SpeedupPlan / P50SpeedupFull are cold-p50 over warm-p50 ratios.
+	P50SpeedupPlan float64
+	P50SpeedupFull float64
+}
+
+type replayArm struct {
+	Name          string
+	P50, P95, P99 time.Duration
+	PlanHits      int64
+	PlanMisses    int64
+	ResultHits    int64
+	ResultMisses  int64
 }
 
 // latency is benchrunner's percentile digest; durations are nanoseconds.
@@ -64,7 +85,7 @@ func main() {
 
 // knownKeys are the only top-level keys a report may carry; anything else
 // means benchrunner and benchcheck have drifted apart.
-var knownKeys = map[string]bool{"Outcomes": true, "Latency": true}
+var knownKeys = map[string]bool{"Outcomes": true, "Latency": true, "Replay": true}
 
 // validate checks one report and returns the run count plus every problem
 // found. It is the whole gate, factored out of main for testing.
@@ -87,7 +108,9 @@ func validate(data []byte, minRuns int) (int, []string) {
 		return 0, append(problems, fmt.Sprintf("malformed report: %v", err))
 	}
 
-	if len(rep.Outcomes) < minRuns {
+	// A replay report carries its runs under Replay; only experiment
+	// reports must meet the outcome floor.
+	if rep.Replay == nil && len(rep.Outcomes) < minRuns {
 		problems = append(problems, fmt.Sprintf("%d runs recorded, want at least %d", len(rep.Outcomes), minRuns))
 	}
 	for _, o := range rep.Outcomes {
@@ -124,5 +147,59 @@ func validate(data []byte, minRuns int) (int, []string) {
 			problems = append(problems, fmt.Sprintf("latency digest missing p50 (%v) despite %d completed runs", lat.P50, completed))
 		}
 	}
+
+	if rep.Replay != nil {
+		problems = append(problems, validateReplay(rep.Replay)...)
+	}
 	return len(rep.Outcomes), problems
+}
+
+// validateReplay gates a -replay-zipf section: three arms with ordered,
+// positive percentiles, hit counters that add up to the query count, and a
+// cold arm that recorded no cache activity.
+func validateReplay(r *replay) []string {
+	var problems []string
+	if r.Queries <= 0 {
+		problems = append(problems, fmt.Sprintf("replay: %d queries", r.Queries))
+	}
+	if r.Zipf <= 1 {
+		problems = append(problems, fmt.Sprintf("replay: zipf exponent %g, want > 1", r.Zipf))
+	}
+	if len(r.Arms) != 3 {
+		problems = append(problems, fmt.Sprintf("replay: %d arms, want 3 (cold, plan-cache, plan+result)", len(r.Arms)))
+		return problems
+	}
+	for _, a := range r.Arms {
+		switch {
+		case a.P50 <= 0 || a.P95 < a.P50 || a.P99 < a.P95:
+			problems = append(problems, fmt.Sprintf("replay arm %s: percentiles out of order: p50=%v p95=%v p99=%v",
+				a.Name, a.P50, a.P95, a.P99))
+		case a.PlanHits < 0 || a.PlanMisses < 0 || a.ResultHits < 0 || a.ResultMisses < 0:
+			problems = append(problems, fmt.Sprintf("replay arm %s: negative cache counters", a.Name))
+		}
+	}
+	cold := r.Arms[0]
+	if cold.PlanHits+cold.PlanMisses+cold.ResultHits+cold.ResultMisses != 0 {
+		problems = append(problems, fmt.Sprintf("replay arm %s: cache counters nonzero on the no-cache arm", cold.Name))
+	}
+	// Plan-only arm: every query probes the plan cache. Full arm: result
+	// hits return before planning, so plan probes equal result misses.
+	if planOnly := r.Arms[1]; int(planOnly.PlanHits+planOnly.PlanMisses) != r.Queries {
+		problems = append(problems, fmt.Sprintf("replay arm %s: plan hits+misses %d != %d queries",
+			planOnly.Name, planOnly.PlanHits+planOnly.PlanMisses, r.Queries))
+	}
+	full := r.Arms[2]
+	if int(full.ResultHits+full.ResultMisses) != r.Queries {
+		problems = append(problems, fmt.Sprintf("replay arm %s: result hits+misses %d != %d queries",
+			full.Name, full.ResultHits+full.ResultMisses, r.Queries))
+	}
+	if full.PlanHits+full.PlanMisses != full.ResultMisses {
+		problems = append(problems, fmt.Sprintf("replay arm %s: plan probes %d != result misses %d",
+			full.Name, full.PlanHits+full.PlanMisses, full.ResultMisses))
+	}
+	if r.P50SpeedupPlan <= 0 || r.P50SpeedupFull <= 0 {
+		problems = append(problems, fmt.Sprintf("replay: missing p50 speedups (plan %.2f, full %.2f)",
+			r.P50SpeedupPlan, r.P50SpeedupFull))
+	}
+	return problems
 }

@@ -101,6 +101,67 @@ func TestValidateMinRuns(t *testing.T) {
 	}
 }
 
+func goodReplayReport() string {
+	return `{
+	  "Outcomes": [],
+	  "Latency": {"Count": 0, "P50": 0, "P95": 0, "P99": 0, "Max": 0},
+	  "Replay": {
+	    "Zipf": 1.1, "Queries": 10, "Shapes": 4,
+	    "Arms": [
+	      {"Name": "cold", "P50": 300, "P95": 400, "P99": 500,
+	       "PlanHits": 0, "PlanMisses": 0, "ResultHits": 0, "ResultMisses": 0},
+	      {"Name": "plan-cache", "P50": 120, "P95": 200, "P99": 250,
+	       "PlanHits": 6, "PlanMisses": 4, "ResultHits": 0, "ResultMisses": 0},
+	      {"Name": "plan+result", "P50": 60, "P95": 150, "P99": 200,
+	       "PlanHits": 3, "PlanMisses": 4, "ResultHits": 3, "ResultMisses": 7}
+	    ],
+	    "P50SpeedupPlan": 2.5, "P50SpeedupFull": 5.0
+	  }
+	}`
+}
+
+func TestValidateReplayGood(t *testing.T) {
+	// min-runs does not apply to replay reports: zero outcomes is fine.
+	if n, problems := validate([]byte(goodReplayReport()), 2); len(problems) != 0 || n != 0 {
+		t.Fatalf("replay report should pass: n=%d problems=%v", n, problems)
+	}
+}
+
+func TestValidateReplayProblems(t *testing.T) {
+	for _, tc := range []struct {
+		name, from, to, want string
+	}{
+		{"weak zipf", `"Zipf": 1.1`, `"Zipf": 0.9`, "zipf exponent"},
+		{"cold arm counted", `"PlanHits": 0, "PlanMisses": 0, "ResultHits": 0, "ResultMisses": 0`,
+			`"PlanHits": 1, "PlanMisses": 0, "ResultHits": 0, "ResultMisses": 0`, "no-cache arm"},
+		{"unordered percentiles", `"P50": 120, "P95": 200`, `"P50": 120, "P95": 80`, "out of order"},
+		{"plan probes short", `"PlanHits": 6, "PlanMisses": 4`, `"PlanHits": 6, "PlanMisses": 3`,
+			"plan hits+misses 9 != 10 queries"},
+		{"result probes short", `"ResultHits": 3, "ResultMisses": 7`, `"ResultHits": 3, "ResultMisses": 6`,
+			"result hits+misses 9 != 10 queries"},
+		{"probe identity broken", `"PlanHits": 3, "PlanMisses": 4`, `"PlanHits": 4, "PlanMisses": 4`,
+			"plan probes 8 != result misses 7"},
+		{"missing speedups", `"P50SpeedupPlan": 2.5`, `"P50SpeedupPlan": 0`, "missing p50 speedups"},
+	} {
+		data := strings.Replace(goodReplayReport(), tc.from, tc.to, 1)
+		if data == goodReplayReport() {
+			t.Fatalf("%s: replacement %q did not apply", tc.name, tc.from)
+		}
+		_, problems := validate([]byte(data), 0)
+		if !strings.Contains(strings.Join(problems, "; "), tc.want) {
+			t.Fatalf("%s: missing %q in %v", tc.name, tc.want, problems)
+		}
+	}
+}
+
+func TestValidateReplayArmCount(t *testing.T) {
+	data := strings.Replace(goodReplayReport(), `{"Name": "cold", "P50": 300, "P95": 400, "P99": 500,
+	       "PlanHits": 0, "PlanMisses": 0, "ResultHits": 0, "ResultMisses": 0},`, "", 1)
+	if p := firstProblem(t, data, 0); !strings.Contains(p, "2 arms, want 3") {
+		t.Fatalf("wrong problem: %q", p)
+	}
+}
+
 func TestValidateEmptyReportOK(t *testing.T) {
 	data := `{"Outcomes": [], "Latency": {"Count": 0, "P50": 0, "P95": 0, "P99": 0, "Max": 0}}`
 	if n, problems := validate([]byte(data), 0); len(problems) != 0 || n != 0 {

@@ -151,6 +151,10 @@ func main() {
 		concurrency   = flag.Int("concurrency", 0, "serve the workload and replay it with this many parallel clients (skips -exp)")
 		rounds        = flag.Int("rounds", 3, "with -concurrency: workload replays per client")
 		maxConcurrent = flag.Int("max-concurrent", 4, "with -concurrency: server query slots")
+
+		replayZipf    = flag.Float64("replay-zipf", 0, "replay a Zipf(s)-skewed prepared-statement workload with and without caches, s > 1 (skips -exp)")
+		replayQueries = flag.Int("replay-queries", 400, "with -replay-zipf: executions per cache arm")
+		replayNodes   = flag.Int("replay-nodes", 1200, "with -replay-zipf: synthetic graph node count (arguments draw from this universe)")
 	)
 	flag.Parse()
 
@@ -197,6 +201,31 @@ func main() {
 		fmt.Printf("debug server on http://%s/debug/\n", addr)
 	}
 	defer suite.Close()
+
+	if *replayZipf > 0 {
+		edgeCount := 20000
+		if *edges > 0 {
+			edgeCount = *edges
+		}
+		rep, err := runReplay(replayConfig{
+			Zipf:    *replayZipf,
+			Queries: *replayQueries,
+			Workers: *workers,
+			Edges:   edgeCount,
+			Nodes:   *replayNodes,
+			Timeout: *timeout,
+		})
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		rep.Render(os.Stdout)
+		if *jsonPath != "" {
+			if err := writeReplayJSON(*jsonPath, rep); err != nil {
+				log.Fatalf("writing %s: %v", *jsonPath, err)
+			}
+		}
+		return
+	}
 
 	if *concurrency > 0 {
 		report, err := runConcurrency(suite, *workers, *concurrency, *rounds, *maxConcurrent, *timeout)
@@ -253,10 +282,27 @@ type latencySummary struct {
 }
 
 // benchReport is the -json output shape: the raw per-run outcomes plus the
-// latency digest benchcheck validates.
+// latency digest benchcheck validates. A -replay-zipf run instead carries
+// its report under Replay (and no outcomes).
 type benchReport struct {
 	Outcomes []*experiments.RecordedOutcome
 	Latency  latencySummary
+	Replay   *ReplayReport `json:",omitempty"`
+}
+
+func writeReplayJSON(path string, rep *ReplayReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(benchReport{Replay: rep})
 }
 
 func summarizeLatency(outcomes []*experiments.RecordedOutcome) latencySummary {

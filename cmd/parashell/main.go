@@ -16,6 +16,9 @@
 //	\strategy [name]          show or set the strategy (auto, hc_tj, ...)
 //	\count <rule>             run a rule, printing only the answer count
 //	\explain <rule>           run a rule and print its plan with actuals
+//	\prepare <name> <rule>    prepare a rule with "?" parameter placeholders
+//	\exec <name> [args...]    execute a prepared statement with arguments
+//	\stmts                    list prepared statements
 //	\limit <n>                rows printed per query (default 10)
 //	\budget [n]               per-worker tuple budget (0 = engine default)
 //	\spill [on|off|always]    spill-to-disk policy under memory pressure
@@ -40,6 +43,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,7 +61,24 @@ type shell struct {
 	limit    int
 	budget   int64                // per-worker tuple budget; 0 = engine default
 	spill    parajoin.SpillPolicy // SpillDefault = engine/server default
+	prepared map[string]*prepStmt // \prepare'd statements by name
 	out      io.Writer
+}
+
+// prepStmt is one \prepare'd statement: local statements bind in-process,
+// remote ones hold a server-side handle. Statements are mode-bound — a
+// server handle dies with its connection — so mode switches clear them.
+type prepStmt struct {
+	rule   string
+	local  *parajoin.Prepared
+	remote *client.Stmt
+}
+
+func (p *prepStmt) numParams() int {
+	if p.remote != nil {
+		return p.remote.NumParams()
+	}
+	return p.local.NumParams()
 }
 
 func main() {
@@ -66,11 +87,19 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "intra-worker join parallelism: 0 auto, 1 serial, K>1 sub-joins per worker")
 	debugAddr := flag.String("debug-addr", "", "serve pprof/expvar/trace diagnostics on this address (e.g. :6060)")
 	connect := flag.String("connect", "", "start connected to a parajoind server (host:port)")
+	planCache := flag.Bool("plan-cache", true, "cache optimizer decisions per query shape in local mode")
+	resultTuples := flag.Int64("result-cache-tuples", 0, "local-mode result cache budget in tuples (0 disables; cached replays skip execution)")
 	flag.Parse()
 
 	var opts []parajoin.Option
 	if *parallelism != 0 {
 		opts = append(opts, parajoin.WithParallelism(*parallelism))
+	}
+	if *planCache {
+		opts = append(opts, parajoin.WithPlanCache(0))
+	}
+	if *resultTuples > 0 {
+		opts = append(opts, parajoin.WithResultCache(*resultTuples))
 	}
 	if *debugAddr != "" {
 		ring := parajoin.NewTraceRing(4096)
@@ -119,7 +148,18 @@ func (sh *shell) dial(addr string) error {
 		sh.remote.Close()
 	}
 	sh.remote, sh.addr = c, addr
+	sh.clearPrepared()
 	return nil
+}
+
+// clearPrepared drops every prepared statement on a mode switch: remote
+// handles are owned by the old connection and local statements would
+// silently diverge from what the prompt is now talking to.
+func (sh *shell) clearPrepared() {
+	if len(sh.prepared) > 0 {
+		fmt.Fprintf(sh.out, "dropped %d prepared statement(s) (mode change)\n", len(sh.prepared))
+	}
+	sh.prepared = nil
 }
 
 func (sh *shell) repl(in io.Reader) {
@@ -173,6 +213,7 @@ func (sh *shell) command(line string) error {
 		if sh.remote != nil {
 			sh.remote.Close()
 			sh.remote, sh.addr = nil, ""
+			sh.clearPrepared()
 		}
 		fmt.Fprintln(sh.out, "local mode (in-process engine)")
 		return nil
@@ -307,6 +348,71 @@ func (sh *shell) command(line string) error {
 		}
 		return sh.runRule(rule, true)
 
+	case `\prepare`:
+		after := strings.TrimSpace(strings.TrimPrefix(line, `\prepare`))
+		name, rule, ok := strings.Cut(after, " ")
+		rule = strings.TrimSpace(rule)
+		if !ok || name == "" || rule == "" {
+			return fmt.Errorf(`usage: \prepare <name> <rule with ? placeholders>`)
+		}
+		st := &prepStmt{rule: rule}
+		if sh.remote != nil {
+			s, err := sh.remote.Prepare(context.Background(), rule)
+			if err != nil {
+				return err
+			}
+			st.remote = s
+		} else {
+			p, err := sh.db.Prepare(rule)
+			if err != nil {
+				return err
+			}
+			st.local = p
+		}
+		if sh.prepared == nil {
+			sh.prepared = make(map[string]*prepStmt)
+		}
+		if old := sh.prepared[name]; old != nil && old.remote != nil {
+			_ = old.remote.Close(context.Background())
+		}
+		sh.prepared[name] = st
+		fmt.Fprintf(sh.out, "prepared %s (%d param(s)): %s\n", name, st.numParams(), rule)
+		return nil
+
+	case `\exec`:
+		if len(fields) < 2 {
+			return fmt.Errorf(`usage: \exec <name> [args...]`)
+		}
+		st := sh.prepared[fields[1]]
+		if st == nil {
+			return fmt.Errorf("no prepared statement %q (see \\stmts)", fields[1])
+		}
+		args := make([]int64, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return fmt.Errorf("argument %q is not an integer", f)
+			}
+			args = append(args, v)
+		}
+		return sh.execPrepared(st, args)
+
+	case `\stmts`:
+		if len(sh.prepared) == 0 {
+			fmt.Fprintln(sh.out, "no prepared statements")
+			return nil
+		}
+		names := make([]string, 0, len(sh.prepared))
+		for name := range sh.prepared {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := sh.prepared[name]
+			fmt.Fprintf(sh.out, "%-16s %d param(s)  %s\n", name, st.numParams(), st.rule)
+		}
+		return nil
+
 	case `\explain`:
 		rule := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
 		if rule == "" {
@@ -399,9 +505,10 @@ func (sh *shell) runRule(rule string, countOnly bool) error {
 	if st.HyperCubeShares != "" {
 		extra = ", shares " + st.HyperCubeShares
 	}
-	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d skew=%.2f%s [%s%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d skew=%.2f%s%s [%s%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.TuplesShuffled,
-		st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments), st.Strategy, extra)
+		st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments),
+		cacheNote(st.PlanCached, st.ResultCached), st.Strategy, extra)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil
@@ -424,6 +531,49 @@ func spillNote(bytes, segments int64) string {
 		return ""
 	}
 	return fmt.Sprintf(" spilled=%dB/%dseg", bytes, segments)
+}
+
+// cacheNote renders cache involvement for result lines: which layer
+// answered from cache, if any.
+func cacheNote(planCached, resultCached bool) string {
+	switch {
+	case resultCached:
+		return " cached=result"
+	case planCached:
+		return " cached=plan"
+	}
+	return ""
+}
+
+// execPrepared runs one prepared statement with bound arguments in
+// whichever mode prepared it.
+func (sh *shell) execPrepared(st *prepStmt, args []int64) error {
+	ctx := context.Background()
+	if st.remote != nil {
+		res, err := st.remote.ExecuteWith(ctx, sh.queryOptions(), args...)
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d%s%s [%s]\n",
+			len(res.Rows), s.Wall.Round(time.Millisecond), s.QueueWait.Round(time.Millisecond),
+			s.TuplesShuffled, attemptNote(s.Attempts, s.RetryCause),
+			cacheNote(s.PlanCached, s.ResultCached), s.Strategy)
+		fmt.Fprintf(sh.out, "%v\n", res.Columns)
+		sh.printRows(res.Rows)
+		return nil
+	}
+	res, err := st.local.ExecuteWithOptions(ctx, sh.runOptions(), args...)
+	if err != nil {
+		return err
+	}
+	s := res.Stats
+	fmt.Fprintf(sh.out, "%d rows  wall=%v shuffled=%d%s [%s]\n",
+		len(res.Rows), s.Wall.Round(time.Millisecond), s.TuplesShuffled,
+		cacheNote(s.PlanCached, s.ResultCached), s.Strategy)
+	fmt.Fprintf(sh.out, "%v\n", res.Columns)
+	sh.printRows(res.Rows)
+	return nil
 }
 
 // attemptNote renders the server's automatic re-executions for result
@@ -457,10 +607,10 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s%s [%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s%s%s [%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
 		st.TuplesShuffled, st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments),
-		attemptNote(st.Attempts, st.RetryCause), st.Strategy)
+		attemptNote(st.Attempts, st.RetryCause), cacheNote(st.PlanCached, st.ResultCached), st.Strategy)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil

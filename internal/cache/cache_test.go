@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"parajoin/internal/core"
+)
+
+func parse(t *testing.T, rule string) *core.Query {
+	t.Helper()
+	q, err := core.ParseRule(rule, nil)
+	if err != nil {
+		t.Fatalf("parse %q: %v", rule, err)
+	}
+	return q
+}
+
+func TestNormalizeRenamingInvariant(t *testing.T) {
+	a := Normalize(parse(t, "A(x,y) :- E(x,y), E(y,x), x >= 10"))
+	b := Normalize(parse(t, "B(p,q) :- E(p,q), E(q,p), p >= 99"))
+	if a.Key != b.Key {
+		t.Fatalf("renamed queries got different keys:\n%s\n%s", a.Key, b.Key)
+	}
+	if a.Args[0] != 10 || b.Args[0] != 99 {
+		t.Fatalf("lifted constants wrong: %v %v", a.Args, b.Args)
+	}
+	if !reflect.DeepEqual(a.Vars, []core.Var{"x", "y"}) || !reflect.DeepEqual(b.Vars, []core.Var{"p", "q"}) {
+		t.Fatalf("shape vars wrong: %v %v", a.Vars, b.Vars)
+	}
+}
+
+// An ad-hoc query with an inline constant and a prepared query with a "?"
+// in the same position share one shape key — the whole point of lifting
+// constants: they plan identically.
+func TestNormalizeParamAndConstantShareKey(t *testing.T) {
+	con := Normalize(parse(t, "A(x) :- E(x,5)"))
+	par := Normalize(parse(t, "A(x) :- E(x,?)"))
+	if con.Key != par.Key {
+		t.Fatalf("constant and param forms got different keys:\n%s\n%s", con.Key, par.Key)
+	}
+	if con.Args[0] != 5 || par.Args[0] != 0 {
+		t.Fatalf("args: constant %v, param %v", con.Args, par.Args)
+	}
+}
+
+func TestNormalizeDistinguishesStructure(t *testing.T) {
+	keys := map[string]string{}
+	for _, rule := range []string{
+		"A(x) :- E(x,5)",
+		"A(x) :- E(5,x)",
+		"A(x) :- E(x,x)",
+		"A(x,y) :- E(x,y)",
+		"A(x) :- E(x,y), E(y,x)",
+		"A(x) :- E(x,5), x >= 3",
+		"A(x) :- E(x,5), x > 3",
+	} {
+		s := Normalize(parse(t, rule))
+		if prev, dup := keys[s.Key]; dup {
+			t.Fatalf("distinct rules share a key:\n%s\n%s\n-> %s", prev, rule, s.Key)
+		}
+		keys[s.Key] = rule
+	}
+}
+
+// Result keys must separate what plan keys deliberately merge: the actual
+// argument values, the operation, the strategy, and the live variable
+// names (column headers must replay byte-identically).
+func TestResultKeySeparations(t *testing.T) {
+	s1 := Normalize(parse(t, "A(x) :- E(x,5)"))
+	s2 := Normalize(parse(t, "A(x) :- E(x,6)"))
+	s3 := Normalize(parse(t, "A(y) :- E(y,5)"))
+	if s1.PlanKey("auto") != s2.PlanKey("auto") {
+		t.Fatal("different constants should share a plan key")
+	}
+	seen := map[string]bool{}
+	for _, k := range []string{
+		s1.ResultKey("run", "auto"),
+		s2.ResultKey("run", "auto"),   // different argument
+		s3.ResultKey("run", "auto"),   // different column name
+		s1.ResultKey("count", "auto"), // different op
+		s1.ResultKey("run", "hc_tj"),  // different strategy
+	} {
+		if seen[k] {
+			t.Fatalf("result key collision: %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	c := NewPlanCache(8)
+	c.Put("k", 1, &PlanEntry{Strategy: "hc_tj"})
+	if e := c.Get("k", 1); e == nil || e.Strategy != "hc_tj" {
+		t.Fatalf("same-epoch get: %+v", e)
+	}
+	if e := c.Get("k", 2); e != nil {
+		t.Fatalf("stale-epoch entry served: %+v", e)
+	}
+	if e := c.Get("k", 1); e != nil {
+		t.Fatal("stale entry must be evicted, not kept for its old epoch")
+	}
+	cs := c.Counters()
+	if cs.Hits != 1 || cs.Misses != 2 || cs.Evictions != 1 || cs.Entries != 0 {
+		t.Fatalf("counters: %+v", cs)
+	}
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	c.Put("a", 1, &PlanEntry{Strategy: "a"})
+	c.Put("b", 1, &PlanEntry{Strategy: "b"})
+	c.Get("a", 1)                            // a is now most recent
+	c.Put("c", 1, &PlanEntry{Strategy: "c"}) // evicts b
+	if c.Get("b", 1) != nil {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	if c.Get("a", 1) == nil || c.Get("c", 1) == nil {
+		t.Fatal("a and c should have survived")
+	}
+}
+
+func TestResultCacheCloneIsolation(t *testing.T) {
+	c := NewResultCache(100)
+	orig := &Result{Strategy: "hc_tj", Columns: []string{"x"}, Rows: [][]int64{{1}, {2}}}
+	c.Put("k", 1, orig)
+	orig.Rows[0][0] = 99 // caller keeps mutating its copy after Put
+
+	got := c.Get("k", 1)
+	if got.Rows[0][0] != 1 {
+		t.Fatal("Put did not deep-copy: caller mutation reached the cache")
+	}
+	got.Rows[1][0] = 77 // and mutates what Get handed out
+
+	again := c.Get("k", 1)
+	if again.Rows[1][0] != 2 {
+		t.Fatal("Get did not deep-copy: one caller's mutation reached the next")
+	}
+}
+
+func TestResultCacheBudget(t *testing.T) {
+	c := NewResultCache(3)
+	rows := func(n int64) [][]int64 {
+		out := make([][]int64, n)
+		for i := range out {
+			out[i] = []int64{int64(i)}
+		}
+		return out
+	}
+	c.Put("two", 1, &Result{Rows: rows(2)})
+	c.Put("one", 1, &Result{Rows: rows(1)})
+	if cs := c.Counters(); cs.Tuples != 3 || cs.Entries != 2 {
+		t.Fatalf("residency: %+v", cs)
+	}
+	// A 4-tuple answer exceeds the whole budget: dropped, residents stay.
+	c.Put("big", 1, &Result{Rows: rows(4)})
+	if c.Get("big", 1) != nil {
+		t.Fatal("over-budget entry was admitted")
+	}
+	if c.Get("two", 1) == nil || c.Get("one", 1) == nil {
+		t.Fatal("over-budget Put evicted residents for nothing")
+	}
+	// A fitting answer evicts LRU entries until there is room.
+	c.Get("two", 1) // "one" is now least recent
+	c.Put("fresh", 1, &Result{Rows: rows(3)})
+	if c.Get("one", 1) != nil || c.Get("two", 1) != nil {
+		t.Fatal("LRU eviction should have cleared both residents")
+	}
+	if c.Get("fresh", 1) == nil {
+		t.Fatal("fitting entry missing after eviction")
+	}
+}
+
+func TestResultCacheCountsOccupyOneTuple(t *testing.T) {
+	c := NewResultCache(2)
+	c.Put("n1", 1, &Result{Count: 12345})
+	c.Put("n2", 1, &Result{Count: 67890})
+	if cs := c.Counters(); cs.Tuples != 2 || cs.Entries != 2 {
+		t.Fatalf("count entries should cost one tuple each: %+v", cs)
+	}
+	if got := c.Get("n1", 1); got == nil || got.Count != 12345 || got.Rows != nil {
+		t.Fatalf("count replay: %+v", got)
+	}
+}
+
+// Hints must survive the canonical-index round trip: decisions recorded
+// against one query's variables rebind onto a same-shape query with
+// different names.
+func TestPlanEntryHintsRebind(t *testing.T) {
+	entry := &PlanEntry{Strategy: "hc_tj", HCVars: []int{0, 1}, HCDims: []int{2, 3}, Order: []int{1, 0}, OrderCost: 7}
+	h := entry.Hints([]core.Var{"p", "q"})
+	if h == nil || h.HC == nil {
+		t.Fatal("hints missing")
+	}
+	if !reflect.DeepEqual(h.HC.Vars, []core.Var{"p", "q"}) || !reflect.DeepEqual(h.HC.Dims, []int{2, 3}) {
+		t.Fatalf("HC rebind: %+v", h.HC)
+	}
+	if !reflect.DeepEqual(h.Order, []core.Var{"q", "p"}) || h.OrderCost != 7 {
+		t.Fatalf("order rebind: %v %v", h.Order, h.OrderCost)
+	}
+	// An out-of-range index (shape drift) must disable hinting entirely.
+	if bad := (&PlanEntry{Order: []int{5}}).Hints([]core.Var{"p"}); bad != nil {
+		t.Fatalf("out-of-range hint not rejected: %+v", bad)
+	}
+}

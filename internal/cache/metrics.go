@@ -1,0 +1,29 @@
+package cache
+
+import "parajoin/internal/metrics"
+
+// Process-wide cache metrics on the default registry (served at /metrics).
+// Counters aggregate across every cache instance in the process; the
+// gauges track current residency via +/- deltas, so they also sum
+// correctly across instances.
+var (
+	planHits = metrics.Default.Counter("parajoin_cache_plan_hits_total",
+		"Plan-cache hits: queries that skipped share optimization and order search.")
+	planMisses = metrics.Default.Counter("parajoin_cache_plan_misses_total",
+		"Plan-cache misses: queries planned from scratch.")
+	planEvictions = metrics.Default.Counter("parajoin_cache_plan_evictions_total",
+		"Plan-cache evictions: LRU capacity plus stale-epoch invalidations.")
+	planEntries = metrics.Default.Gauge("parajoin_cache_plan_entries",
+		"Plan-cache resident entries.")
+
+	resultHits = metrics.Default.Counter("parajoin_cache_result_hits_total",
+		"Result-cache hits: queries answered without executing.")
+	resultMisses = metrics.Default.Counter("parajoin_cache_result_misses_total",
+		"Result-cache misses.")
+	resultEvictions = metrics.Default.Counter("parajoin_cache_result_evictions_total",
+		"Result-cache evictions: LRU tuple-budget pressure plus stale-epoch invalidations.")
+	resultTuples = metrics.Default.Gauge("parajoin_cache_result_tuples",
+		"Result-cache resident tuples.")
+	resultBytes = metrics.Default.Gauge("parajoin_cache_result_bytes",
+		"Result-cache resident bytes (8 bytes per value, the spill convention).")
+)

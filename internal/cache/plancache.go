@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"parajoin/internal/core"
+	"parajoin/internal/planner"
+	"parajoin/internal/shares"
+)
+
+// PlanEntry is one cached set of optimizer decisions, stored in
+// variable-name-independent form: HCVars and Order hold canonical variable
+// indexes into the shape's Vars, JoinOrder holds atom indexes (stable
+// under shape by construction).
+type PlanEntry struct {
+	// Strategy is the resolved strategy name — for an "auto" request this
+	// is what Auto picked, so a hit skips the resolution estimate too.
+	Strategy string
+	// HCVars/HCDims are the HyperCube share configuration.
+	HCVars []int
+	HCDims []int
+	// Order/OrderCost are the Tributary variable order and its cost.
+	Order     []int
+	OrderCost float64
+	// JoinOrder is the greedy atom order for binary-join trees.
+	JoinOrder []int
+}
+
+// NewPlanEntry captures a planner result's decisions against the shape's
+// canonical variable indexes. Variables the index does not know (which
+// would indicate a shape/query mismatch) drop that decision rather than
+// poison the entry.
+func NewPlanEntry(strategy string, res *planner.Result, varIdx map[core.Var]int) *PlanEntry {
+	e := &PlanEntry{Strategy: strategy}
+	if len(res.HC.Vars) > 0 {
+		hcVars := make([]int, 0, len(res.HC.Vars))
+		for _, v := range res.HC.Vars {
+			i, ok := varIdx[v]
+			if !ok {
+				hcVars = nil
+				break
+			}
+			hcVars = append(hcVars, i)
+		}
+		if hcVars != nil {
+			e.HCVars = hcVars
+			e.HCDims = append([]int(nil), res.HC.Dims...)
+		}
+	}
+	if len(res.Order) > 0 {
+		ord := make([]int, 0, len(res.Order))
+		for _, v := range res.Order {
+			i, ok := varIdx[v]
+			if !ok {
+				ord = nil
+				break
+			}
+			ord = append(ord, i)
+		}
+		if ord != nil {
+			e.Order = ord
+			e.OrderCost = res.OrderCost
+		}
+	}
+	e.JoinOrder = append([]int(nil), res.JoinOrder...)
+	return e
+}
+
+// Hints rebinds the entry's canonical decisions to a live query's
+// variables (vars is the shape's first-appearance list for that query).
+// Out-of-range indexes yield nil — the planner then re-optimizes normally.
+func (e *PlanEntry) Hints(vars []core.Var) *planner.Hints {
+	h := &planner.Hints{OrderCost: e.OrderCost}
+	if len(e.HCVars) > 0 && len(e.HCVars) == len(e.HCDims) {
+		cfg := shares.Config{Vars: make([]core.Var, len(e.HCVars)), Dims: append([]int(nil), e.HCDims...)}
+		for i, vi := range e.HCVars {
+			if vi < 0 || vi >= len(vars) {
+				return nil
+			}
+			cfg.Vars[i] = vars[vi]
+		}
+		h.HC = &cfg
+	}
+	if len(e.Order) > 0 {
+		h.Order = make([]core.Var, len(e.Order))
+		for i, vi := range e.Order {
+			if vi < 0 || vi >= len(vars) {
+				return nil
+			}
+			h.Order[i] = vars[vi]
+		}
+	}
+	h.JoinOrder = append([]int(nil), e.JoinOrder...)
+	return h
+}
+
+// Counters is a point-in-time snapshot of one cache's activity.
+type Counters struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Entries is the current entry count; Tuples and Bytes are the result
+	// cache's current residency (zero for the plan cache).
+	Entries int
+	Tuples  int64
+	Bytes   int64
+}
+
+// PlanCache is an LRU cache of optimizer decisions keyed by
+// Shape.PlanKey. Entries are epoch-stamped: a Get with a newer catalog
+// epoch treats the entry as dead and evicts it.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type planItem struct {
+	key   string
+	epoch int64
+	entry *PlanEntry
+}
+
+// NewPlanCache creates a plan cache holding at most max entries (max <= 0
+// takes a default of 256).
+func NewPlanCache(max int) *PlanCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &PlanCache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the entry for key computed at the given catalog epoch, or
+// nil. A stale-epoch entry is evicted and reported as a miss.
+func (c *PlanCache) Get(key string, epoch int64) *PlanEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if ok {
+		it := el.Value.(*planItem)
+		if it.epoch == epoch {
+			c.ll.MoveToFront(el)
+			c.hits++
+			planHits.Inc()
+			return it.entry
+		}
+		c.removeLocked(el)
+		c.evicted++
+		planEvictions.Inc()
+	}
+	c.misses++
+	planMisses.Inc()
+	return nil
+}
+
+// Put stores an entry computed at the given catalog epoch, evicting the
+// least recently used entry when full.
+func (c *PlanCache) Put(key string, epoch int64, e *PlanEntry) {
+	if e == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*planItem)
+		it.epoch, it.entry = epoch, e
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&planItem{key: key, epoch: epoch, entry: e})
+	c.items[key] = el
+	planEntries.Add(1)
+	for c.ll.Len() > c.max {
+		c.removeLocked(c.ll.Back())
+		c.evicted++
+		planEvictions.Inc()
+	}
+}
+
+func (c *PlanCache) removeLocked(el *list.Element) {
+	it := el.Value.(*planItem)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	planEntries.Add(-1)
+}
+
+// Counters snapshots the cache's activity.
+func (c *PlanCache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.ll.Len()}
+}

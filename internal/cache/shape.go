@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"strconv"
+	"strings"
+
+	"parajoin/internal/core"
+)
+
+// Shape is a query's normalized form: the canonical text (Key), the actual
+// variables behind the canonical indexes (Vars, first-appearance order, so
+// Vars[i] is the variable rendered as v<i>), and the constants lifted into
+// positional slots (Args, scan order, so Args[k] is the value rendered as
+// $<k>).
+type Shape struct {
+	Key  string
+	Vars []core.Var
+	Args []int64
+}
+
+// Normalize canonicalizes q. Two queries that differ only in variable
+// naming and constant values produce the same Key; a query with unbound
+// "?" parameters produces the same Key as its bound forms (parameter slots
+// carry a zero in Args, so only fully bound queries may key the result
+// cache).
+func Normalize(q *core.Query) Shape {
+	varIdx := make(map[core.Var]int)
+	var vars []core.Var
+	var args []int64
+
+	var b strings.Builder
+	writeVar := func(v core.Var) {
+		i, ok := varIdx[v]
+		if !ok {
+			i = len(vars)
+			varIdx[v] = i
+			vars = append(vars, v)
+		}
+		b.WriteByte('v')
+		b.WriteString(strconv.Itoa(i))
+	}
+	writeTerm := func(t core.Term) {
+		if t.IsVar {
+			writeVar(t.Var)
+			return
+		}
+		b.WriteByte('$')
+		b.WriteString(strconv.Itoa(len(args)))
+		if t.IsParam {
+			args = append(args, 0)
+		} else {
+			args = append(args, t.Const)
+		}
+	}
+
+	// Atoms first: they assign the canonical variable indexes the head and
+	// filters refer to.
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.Relation)
+		b.WriteByte('(')
+		for j, t := range a.Terms {
+			if j > 0 {
+				b.WriteByte(';')
+			}
+			writeTerm(t)
+		}
+		b.WriteByte(')')
+	}
+	body := b.String()
+	b.Reset()
+
+	b.WriteByte('(')
+	for i, h := range q.HeadVars() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		writeVar(h)
+	}
+	b.WriteString("):-")
+	b.WriteString(body)
+	for _, f := range q.Filters {
+		b.WriteByte(',')
+		writeVar(f.Left)
+		b.WriteString(f.Op.String())
+		writeTerm(f.Right)
+	}
+	return Shape{Key: b.String(), Vars: vars, Args: args}
+}
+
+// PlanKey is the plan-cache key for this shape under the requested
+// strategy ("auto" resolves inside the entry, so an auto request and the
+// explicit strategy it resolves to are distinct entries).
+func (s Shape) PlanKey(strategy string) string {
+	return s.Key + "|s=" + strategy
+}
+
+// ResultKey is the result-cache key for this shape: it adds the operation
+// (run/count), the requested strategy (plans — and therefore row order —
+// differ across strategies), the actual variable names (output column
+// names must replay byte-identically), and the lifted constant values.
+func (s Shape) ResultKey(op, strategy string) string {
+	var b strings.Builder
+	b.WriteString(s.Key)
+	b.WriteString("|op=")
+	b.WriteString(op)
+	b.WriteString("|s=")
+	b.WriteString(strategy)
+	b.WriteString("|vars=")
+	for i, v := range s.Vars {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(string(v))
+	}
+	b.WriteString("|args=")
+	for i, a := range s.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(a, 10))
+	}
+	return b.String()
+}
+
+// VarIndex maps the shape's variables back to their canonical indexes.
+func (s Shape) VarIndex() map[core.Var]int {
+	m := make(map[core.Var]int, len(s.Vars))
+	for i, v := range s.Vars {
+		m[v] = i
+	}
+	return m
+}

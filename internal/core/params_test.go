@@ -1,0 +1,52 @@
+package core
+
+import "testing"
+
+// "?" placeholders: parse positions, count, and bind substitution in both
+// atom and filter positions.
+func TestParseParams(t *testing.T) {
+	q, err := ParseRule("R(x,y) :- E(?,x), E(x,y), y >= ?", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.NumParams(); n != 2 {
+		t.Fatalf("NumParams = %d, want 2", n)
+	}
+	if tm := q.Atoms[0].Terms[0]; !tm.IsParam || tm.Const != 0 {
+		t.Fatalf("first placeholder: %+v", tm)
+	}
+	if f := q.Filters[0].Right; !f.IsParam || f.Const != 1 {
+		t.Fatalf("filter placeholder: %+v", f)
+	}
+
+	bound, err := q.Bind([]int64{7, 1990})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm := bound.Atoms[0].Terms[0]; tm.IsParam || tm.Const != 7 {
+		t.Fatalf("bound atom term: %+v", tm)
+	}
+	if f := bound.Filters[0].Right; f.IsParam || f.Const != 1990 {
+		t.Fatalf("bound filter term: %+v", f)
+	}
+	// The original stays parameterized: Bind returns a copy.
+	if !q.Atoms[0].Terms[0].IsParam {
+		t.Fatal("Bind mutated the prepared query")
+	}
+	if bound.NumParams() != 0 {
+		t.Fatal("bound query still reports parameters")
+	}
+}
+
+func TestBindArityMismatch(t *testing.T) {
+	q, err := ParseRule("R(x) :- E(x,?)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Bind(nil); err == nil {
+		t.Fatal("binding 0 args to 1 param succeeded")
+	}
+	if _, err := q.Bind([]int64{1, 2}); err == nil {
+		t.Fatal("binding 2 args to 1 param succeeded")
+	}
+}

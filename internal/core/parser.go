@@ -19,8 +19,10 @@ type StringEncoder interface {
 //	Head(v1,...,vn) :- Atom1(t,...), Atom2(t,...), x>=1990, f1>f2
 //
 // Terms are variables (identifiers starting with a lower-case letter or
-// underscore), integer constants, or double-quoted string constants encoded
-// through enc. Comparisons between atoms are parsed as filters. Relation
+// underscore), integer constants, double-quoted string constants encoded
+// through enc, or "?" positional parameter placeholders (bound later with
+// Query.Bind — the prepared-statement form). Comparisons between atoms are
+// parsed as filters. Relation
 // names must start with an upper-case letter, matching the paper's
 // convention (Twitter_R, ObjectName, ...). enc may be nil when the rule has
 // no string constants.
@@ -43,9 +45,10 @@ func MustParseRule(rule string, enc StringEncoder) *Query {
 }
 
 type parser struct {
-	src string
-	pos int
-	enc StringEncoder
+	src    string
+	pos    int
+	enc    StringEncoder
+	params int // "?" placeholders seen so far; assigns positional indexes
 }
 
 func (p *parser) rule() (*Query, error) {
@@ -142,6 +145,10 @@ func (p *parser) term() (Term, error) {
 			return Term{}, fmt.Errorf("string constant %q but no string encoder was provided", s)
 		}
 		return C(p.enc.Code(s)), nil
+	case c == '?':
+		p.pos++
+		p.params++
+		return P(p.params - 1), nil
 	case c == '-' || unicode.IsDigit(rune(c)):
 		return p.number()
 	default:

@@ -17,13 +17,18 @@ import (
 // Var is a query variable.
 type Var string
 
-// Term is one argument position of an atom: either a variable or an int64
-// constant (string constants are dictionary-encoded to int64 before they
-// reach a Term).
+// Term is one argument position of an atom: a variable, an int64 constant
+// (string constants are dictionary-encoded to int64 before they reach a
+// Term), or a positional parameter placeholder ("?" in a rule) awaiting a
+// constant at execution time.
 type Term struct {
 	Var   Var
 	Const int64
 	IsVar bool
+	// IsParam marks a parameter placeholder; Const then holds its
+	// zero-based positional index. A query containing parameter terms must
+	// be bound with Query.Bind before it can be planned or executed.
+	IsParam bool
 }
 
 // V returns a variable term.
@@ -32,9 +37,15 @@ func V(name string) Term { return Term{Var: Var(name), IsVar: true} }
 // C returns a constant term.
 func C(v int64) Term { return Term{Const: v} }
 
+// P returns the idx-th positional parameter placeholder.
+func P(idx int) Term { return Term{Const: int64(idx), IsParam: true} }
+
 func (t Term) String() string {
 	if t.IsVar {
 		return string(t.Var)
+	}
+	if t.IsParam {
+		return "?"
 	}
 	return fmt.Sprint(t.Const)
 }
@@ -263,6 +274,58 @@ func (q *Query) varSet() map[Var]bool {
 		}
 	}
 	return set
+}
+
+// NumParams returns the number of positional parameter placeholders the
+// query carries (0 for an ordinary, fully bound query).
+func (q *Query) NumParams() int {
+	n := 0
+	count := func(t Term) {
+		if t.IsParam && int(t.Const) >= n {
+			n = int(t.Const) + 1
+		}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Terms {
+			count(t)
+		}
+	}
+	for _, f := range q.Filters {
+		count(f.Right)
+	}
+	return n
+}
+
+// Bind substitutes constants for the query's parameter placeholders and
+// returns the resulting fully bound query; q itself is not modified. args
+// must supply exactly one value per parameter, in positional order.
+func (q *Query) Bind(args []int64) (*Query, error) {
+	n := q.NumParams()
+	if len(args) != n {
+		return nil, fmt.Errorf("core: query %q has %d parameters, got %d arguments", q.Name, n, len(args))
+	}
+	if n == 0 {
+		return q, nil
+	}
+	sub := func(t Term) Term {
+		if t.IsParam {
+			return C(args[t.Const])
+		}
+		return t
+	}
+	atoms := make([]Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		terms := make([]Term, len(a.Terms))
+		for j, t := range a.Terms {
+			terms[j] = sub(t)
+		}
+		atoms[i] = Atom{Relation: a.Relation, Alias: a.Alias, Terms: terms}
+	}
+	filters := make([]Filter, len(q.Filters))
+	for i, f := range q.Filters {
+		filters[i] = Filter{Left: f.Left, Op: f.Op, Right: sub(f.Right)}
+	}
+	return NewQuery(q.Name, append([]Var(nil), q.Head...), atoms, filters...)
 }
 
 // Vars returns all variables of the query, in order of first appearance

@@ -98,6 +98,10 @@ type Cluster struct {
 	// epoch numbers runs so each gets a private exchange-id namespace on
 	// the shared transport.
 	epoch atomic.Int64
+	// dataEpoch counts catalog mutations (Load, LoadFragments,
+	// LoadReplicated, Drop). Caches key plans and results on it so any
+	// data change invalidates them; see DataEpoch.
+	dataEpoch atomic.Int64
 	// closed flips once; closeCh wakes in-flight runs so they fail with
 	// ErrClosed instead of hanging on a closed transport.
 	closed    atomic.Bool
@@ -183,6 +187,7 @@ func (c *Cluster) LoadFragments(name string, frags []*rel.Relation) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.dataEpoch.Add(1)
 	for w, f := range frags {
 		c.storage[w][name] = f
 	}
@@ -192,6 +197,7 @@ func (c *Cluster) LoadFragments(name string, frags []*rel.Relation) {
 func (c *Cluster) LoadReplicated(r *rel.Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.dataEpoch.Add(1)
 	for w := 0; w < c.workers; w++ {
 		c.storage[w][r.Name] = r
 	}
@@ -224,10 +230,17 @@ func (c *Cluster) Stored(name string) *rel.Relation {
 func (c *Cluster) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.dataEpoch.Add(1)
 	for w := 0; w < c.workers; w++ {
 		delete(c.storage[w], name)
 	}
 }
+
+// DataEpoch returns the catalog mutation counter: it advances on every
+// Load, LoadFragments, LoadReplicated, and Drop, whatever path drove the
+// mutation (CSV load, synthetic generation, wire-protocol load). Plan and
+// result caches key on it, so a stale epoch can never serve a stale entry.
+func (c *Cluster) DataEpoch() int64 { return c.dataEpoch.Load() }
 
 // Close releases the transport. It is idempotent, and safe while runs are
 // in flight: those runs are canceled and fail with ErrClosed, and any

@@ -1,0 +1,78 @@
+package planner
+
+import (
+	"parajoin/internal/core"
+	"parajoin/internal/shares"
+)
+
+// hintedHC returns the cached share configuration when one is supplied and
+// structurally plausible for q: every share variable must be a variable of
+// the query and carry a positive share. buildHC still verifies the cell
+// count fits the cluster, so an over-sized hint fails the same way a freshly
+// optimized configuration would.
+func (b *builder) hintedHC() (shares.Config, bool) {
+	h := b.p.Hints
+	if h == nil || h.HC == nil {
+		return shares.Config{}, false
+	}
+	cfg := *h.HC
+	if len(cfg.Vars) == 0 || len(cfg.Vars) != len(cfg.Dims) {
+		return shares.Config{}, false
+	}
+	vars := queryVarSet(b.q)
+	for i, v := range cfg.Vars {
+		if !vars[v] || cfg.Dims[i] < 1 {
+			return shares.Config{}, false
+		}
+	}
+	return cfg, true
+}
+
+// hintedOrder returns the cached Tributary variable order when it is a
+// permutation of exactly q's variables.
+func (b *builder) hintedOrder() ([]core.Var, float64, bool) {
+	h := b.p.Hints
+	if h == nil || len(h.Order) == 0 {
+		return nil, 0, false
+	}
+	vars := queryVarSet(b.q)
+	if len(h.Order) != len(vars) {
+		return nil, 0, false
+	}
+	seen := make(map[core.Var]bool, len(h.Order))
+	for _, v := range h.Order {
+		if !vars[v] || seen[v] {
+			return nil, 0, false
+		}
+		seen[v] = true
+	}
+	return h.Order, h.OrderCost, true
+}
+
+// hintedJoinOrder returns the cached atom order when it is a permutation of
+// the query's atom indexes.
+func (b *builder) hintedJoinOrder() ([]int, bool) {
+	h := b.p.Hints
+	if h == nil || len(h.JoinOrder) == 0 {
+		return nil, false
+	}
+	if len(h.JoinOrder) != len(b.atoms) {
+		return nil, false
+	}
+	seen := make([]bool, len(b.atoms))
+	for _, i := range h.JoinOrder {
+		if i < 0 || i >= len(b.atoms) || seen[i] {
+			return nil, false
+		}
+		seen[i] = true
+	}
+	return h.JoinOrder, true
+}
+
+func queryVarSet(q *core.Query) map[core.Var]bool {
+	set := make(map[core.Var]bool)
+	for _, v := range q.Vars() {
+		set[v] = true
+	}
+	return set
+}

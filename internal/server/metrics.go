@@ -25,6 +25,7 @@ var queryMetrics = struct {
 			"ok", wire.CodeOverloaded, wire.CodeDraining, wire.CodeCanceled,
 			wire.CodeDeadline, wire.CodeOOM, wire.CodeSpillBudget, wire.CodeClosed,
 			wire.CodeBadRequest, wire.CodeRetriesExhausted, wire.CodeInternal,
+			wire.CodeUnsupportedFrame,
 		} {
 			out[outcome] = metrics.Default.Histogram("parajoin_query_seconds",
 				"End-to-end served query latency (admission wait, planning, every execution attempt, backoffs), by outcome.",
@@ -45,6 +46,11 @@ var queryMetrics = struct {
 	slow: metrics.Default.Counter("parajoin_slow_queries_total",
 		"Queries that crossed the slow-query threshold and were written to the slow log."),
 }
+
+// preparedStmts tracks live server-side prepared statements across all
+// sessions in the process.
+var preparedStmts = metrics.Default.Gauge("parajoin_prepared_statements",
+	"Prepared statements currently registered across all client sessions.")
 
 // observeQueryDone records one finished query's end-to-end latency under its
 // outcome label. Unknown outcomes (future wire codes) register on demand.

@@ -271,6 +271,10 @@ func (s *Server) Stats() Stats {
 
 // ---------------------------------------------------------------- session
 
+// maxSessionStmts caps prepared statements per connection, bounding the
+// memory a client can pin server-side.
+const maxSessionStmts = 1024
+
 // session is one client connection: a frame reader, a shared frame writer,
 // and one goroutine per in-flight request.
 type session struct {
@@ -283,6 +287,12 @@ type session struct {
 
 	mu      sync.Mutex
 	cancels map[uint64]context.CancelCauseFunc
+	stmts   map[uint64]*parajoin.Prepared
+	stmtSeq uint64
+
+	// peerProto is the protocol version the client advertised (0 until it
+	// does); responses echo the server's version once it has.
+	peerProto atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -295,6 +305,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 		ctx:     ctx,
 		stop:    cancel,
 		cancels: make(map[uint64]context.CancelCauseFunc),
+		stmts:   make(map[uint64]*parajoin.Prepared),
 	}
 }
 
@@ -303,11 +314,21 @@ func (ss *session) serve() {
 		ss.stop() // cancels every in-flight query of this session
 		ss.wg.Wait()
 		ss.conn.Close()
+		// Statement cleanup is drain-safe: it runs only after every
+		// in-flight request goroutine (each of which may hold a statement)
+		// has finished.
+		ss.mu.Lock()
+		preparedStmts.Add(-int64(len(ss.stmts)))
+		ss.stmts = nil
+		ss.mu.Unlock()
 	}()
 	for {
 		var req wire.Request
 		if err := wire.ReadFrame(ss.conn, &req); err != nil {
 			return // disconnect (or shutdown closed the conn)
+		}
+		if req.Proto != 0 {
+			ss.peerProto.Store(int64(req.Proto))
 		}
 		ss.wg.Add(1)
 		go func() {
@@ -317,7 +338,34 @@ func (ss *session) serve() {
 	}
 }
 
+// addStmt registers a prepared statement and returns its handle.
+func (ss *session) addStmt(p *parajoin.Prepared) (uint64, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.stmts == nil {
+		return 0, fmt.Errorf("session closing")
+	}
+	if len(ss.stmts) >= maxSessionStmts {
+		return 0, fmt.Errorf("too many prepared statements (limit %d); close some", maxSessionStmts)
+	}
+	ss.stmtSeq++
+	id := ss.stmtSeq
+	ss.stmts[id] = p
+	preparedStmts.Add(1)
+	return id, nil
+}
+
+// lookupStmt resolves a statement handle (nil when unknown or closed).
+func (ss *session) lookupStmt(id uint64) *parajoin.Prepared {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.stmts[id]
+}
+
 func (ss *session) reply(resp *wire.Response) {
+	if resp.Proto == 0 && ss.peerProto.Load() != 0 {
+		resp.Proto = wire.ProtoVersion
+	}
 	ss.wmu.Lock()
 	defer ss.wmu.Unlock()
 	if err := wire.WriteFrame(ss.conn, resp); err != nil {
@@ -382,11 +430,37 @@ func (ss *session) dispatch(req *wire.Request) {
 		// Idempotent: canceling a finished (or unknown) request is a no-op.
 		ss.reply(&wire.Response{ID: req.ID})
 
-	case wire.OpRun, wire.OpCount, wire.OpExplain:
+	case wire.OpPrepare:
+		p, err := srv.db.Prepare(req.Rule)
+		if err != nil {
+			ss.fail(req.ID, wire.CodeBadRequest, err)
+			return
+		}
+		id, err := ss.addStmt(p)
+		if err != nil {
+			ss.fail(req.ID, wire.CodeBadRequest, err)
+			return
+		}
+		ss.reply(&wire.Response{ID: req.ID, Stmt: id, Params: p.NumParams()})
+
+	case wire.OpCloseStmt:
+		ss.mu.Lock()
+		if _, ok := ss.stmts[req.Stmt]; ok {
+			delete(ss.stmts, req.Stmt)
+			preparedStmts.Add(-1)
+		}
+		ss.mu.Unlock()
+		// Idempotent: closing an unknown (or already closed) handle is fine.
+		ss.reply(&wire.Response{ID: req.ID})
+
+	case wire.OpRun, wire.OpCount, wire.OpExplain, wire.OpExecute:
 		ss.query(req)
 
 	default:
-		ss.fail(req.ID, wire.CodeBadRequest, fmt.Errorf("unknown op %q", req.Op))
+		// A typed degradation signal, not bad_request: the op may be valid
+		// in a newer protocol revision than this server speaks.
+		ss.fail(req.ID, wire.CodeUnsupportedFrame,
+			fmt.Errorf("unsupported op %q (server speaks protocol %d)", req.Op, wire.ProtoVersion))
 	}
 }
 
@@ -461,9 +535,19 @@ func (ss *session) query(req *wire.Request) {
 		Kind: trace.KindQuery, Run: seq, Worker: -1, Exchange: -1, Name: "start",
 	})
 
+	// Resolve the statement for OpExecute up front so progress and the
+	// slow log show the real rule with its arguments, not an empty string.
+	var prep *parajoin.Prepared
+	ruleText := req.Rule
+	if req.Op == wire.OpExecute {
+		if prep = ss.lookupStmt(req.Stmt); prep != nil {
+			ruleText = fmt.Sprintf("%s /* stmt %d args %v */", prep, req.Stmt, req.Args)
+		}
+	}
+
 	// Live progress: /debug/queries shows this record until the response is
 	// written; the engine updates stage/tuples/spill through the run context.
-	prog := metrics.NewQueryProgress(seq, req.Rule)
+	prog := metrics.NewQueryProgress(seq, ruleText)
 	metrics.TrackQuery(prog)
 	defer metrics.UntrackQuery(prog)
 	queryMetrics.inflight.Add(1)
@@ -485,7 +569,7 @@ func (ss *session) query(req *wire.Request) {
 			errStr = qerr.Error()
 		}
 		srv.logSlowQuery(elapsed, slowLogRecord{
-			Time: time.Now(), Query: seq, Op: req.Op, Rule: req.Rule,
+			Time: time.Now(), Query: seq, Op: req.Op, Rule: ruleText,
 			Outcome: name, QueueWait: waited.Seconds(), Attempts: attempts,
 			RetryCause: retryCause, Rows: rows, Err: errStr,
 			Stats: st, Explain: explain,
@@ -517,7 +601,18 @@ func (ss *session) query(req *wire.Request) {
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
-	q, err := srv.db.Query(req.Rule)
+	var q *parajoin.Query
+	if req.Op == wire.OpExecute {
+		if prep == nil {
+			err := fmt.Errorf("unknown statement %d (never prepared, or already closed)", req.Stmt)
+			outcome(wire.CodeBadRequest, 0, nil, "", err)
+			ss.fail(req.ID, wire.CodeBadRequest, err)
+			return
+		}
+		q, err = prep.Bind(req.Args...)
+	} else {
+		q, err = srv.db.Query(req.Rule)
+	}
 	if err != nil {
 		outcome(wire.CodeBadRequest, 0, nil, "", err)
 		ss.fail(req.ID, wire.CodeBadRequest, err)
@@ -629,7 +724,7 @@ func (ss *session) query(req *wire.Request) {
 func (ss *session) execute(req *wire.Request, q *parajoin.Query, strategy parajoin.Strategy, opts parajoin.RunOptions, runCtx context.Context) (*wire.Response, int64, string, error) {
 	resp := &wire.Response{ID: req.ID}
 	switch req.Op {
-	case wire.OpRun:
+	case wire.OpRun, wire.OpExecute:
 		res, err := q.RunWithOptions(runCtx, opts)
 		if err != nil {
 			return nil, 0, "", err
@@ -672,6 +767,8 @@ func wireStats(st *parajoin.Stats) *wire.Stats {
 		PeakResidentTuples: st.PeakResidentTuples,
 		SpilledBytes:       st.SpilledBytes,
 		SpillSegments:      st.SpillSegments,
+		PlanCached:         st.PlanCached,
+		ResultCached:       st.ResultCached,
 	}
 }
 

@@ -11,6 +11,16 @@ import (
 // larger frame is broken or hostile; readers fail the connection.
 const MaxFrame = 64 << 20
 
+// ProtoVersion is the protocol revision this package speaks. Version 2
+// added prepared statements (OpPrepare/OpExecute/OpCloseStmt) and the
+// typed unsupported_frame error. A client advertises its version in the
+// Proto field of its first request; the server echoes its own in every
+// response carrying a non-zero request Proto, so both sides can detect a
+// peer that predates a frame before (or instead of) tripping over it. A
+// zero Proto means a version-1 peer — every version-1 frame is still
+// accepted, so old clients degrade gracefully.
+const ProtoVersion = 2
+
 // Request operations.
 const (
 	// OpPing checks liveness; the response is empty.
@@ -31,6 +41,18 @@ const (
 	OpExplain = "explain"
 	// OpCancel cancels the in-flight request with ID Target.
 	OpCancel = "cancel"
+	// OpPrepare parses and validates Rule (which may contain "?" parameter
+	// placeholders) into a server-side statement owned by this connection;
+	// the response carries the statement handle (Stmt) and its parameter
+	// count (Params).
+	OpPrepare = "prepare"
+	// OpExecute runs prepared statement Stmt with the positional Args,
+	// returning rows exactly like OpRun.
+	OpExecute = "execute"
+	// OpCloseStmt frees prepared statement Stmt. Closing an unknown handle
+	// is not an error (close is idempotent); statements are also freed when
+	// the connection ends.
+	OpCloseStmt = "close-stmt"
 )
 
 // Error codes a Response may carry. Clients map these back to typed errors.
@@ -57,6 +79,11 @@ const (
 	// CodeRetriesExhausted: the query kept failing with retryable transport
 	// errors and the server's automatic re-execution budget ran out.
 	CodeRetriesExhausted = "retries_exhausted"
+	// CodeUnsupportedFrame: the server does not understand the request's
+	// op — a newer client talking to an older server (or vice versa). The
+	// connection stays healthy; the client should degrade (e.g. fall back
+	// from prepare/execute to plain run).
+	CodeUnsupportedFrame = "unsupported_frame"
 	// CodeInternal: anything else.
 	CodeInternal = "internal"
 )
@@ -65,6 +92,11 @@ const (
 type Request struct {
 	ID uint64 `json:"id"`
 	Op string `json:"op"`
+
+	// Proto advertises the client's protocol version, normally on the
+	// connection's first request only (0 = version 1, which predates the
+	// field).
+	Proto int `json:"proto,omitempty"`
 
 	// OpLoad / OpLoadCSV.
 	Name    string    `json:"name,omitempty"`
@@ -88,6 +120,11 @@ type Request struct {
 
 	// OpCancel.
 	Target uint64 `json:"target,omitempty"`
+
+	// OpExecute / OpCloseStmt: the statement handle from an OpPrepare
+	// response; OpExecute also carries the positional arguments.
+	Stmt uint64  `json:"stmt,omitempty"`
+	Args []int64 `json:"args,omitempty"`
 }
 
 // Stats is the wire form of a query's execution statistics.
@@ -111,6 +148,11 @@ type Stats struct {
 	// RetryCause is the last error that triggered a re-execution.
 	Attempts   int64  `json:"attempts,omitempty"`
 	RetryCause string `json:"retry_cause,omitempty"`
+	// PlanCached: the plan was rebuilt from cached optimizer decisions.
+	// ResultCached: the answer was replayed from the result cache without
+	// executing.
+	PlanCached   bool `json:"plan_cached,omitempty"`
+	ResultCached bool `json:"result_cached,omitempty"`
 }
 
 // RelationInfo describes one catalog entry.
@@ -132,6 +174,13 @@ type Response struct {
 	Stats     *Stats         `json:"stats,omitempty"`
 	Relations []RelationInfo `json:"relations,omitempty"`
 	Explain   string         `json:"explain,omitempty"`
+
+	// Proto is the server's protocol version, echoed when the request
+	// advertised one. Stmt and Params answer OpPrepare: the statement
+	// handle and its "?" parameter count.
+	Proto  int    `json:"proto,omitempty"`
+	Stmt   uint64 `json:"stmt,omitempty"`
+	Params int    `json:"params,omitempty"`
 }
 
 // WriteFrame encodes v as one length-prefixed JSON frame. Callers must
@@ -153,22 +202,41 @@ func WriteFrame(w io.Writer, v any) error {
 	return err
 }
 
-// ReadFrame decodes the next frame into v.
+// readChunk caps how much a reader allocates ahead of the bytes actually
+// arriving, so a hostile length prefix cannot reserve MaxFrame at once.
+const readChunk = 1 << 20
+
+// ReadFrame decodes the next frame into v. The body buffer grows in
+// chunks as bytes arrive rather than trusting the length prefix up front:
+// a peer announcing a 64 MiB frame and hanging up costs one chunk, not
+// the full announcement.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := int(binary.BigEndian.Uint32(hdr[:]))
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return err
+	body := make([]byte, 0, min(n, readChunk))
+	for len(body) < n {
+		take := min(n-len(body), readChunk)
+		start := len(body)
+		body = append(body, make([]byte, take)...)
+		if _, err := io.ReadFull(r, body[start:]); err != nil {
+			return err
+		}
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		return fmt.Errorf("wire: decode: %w", err)
 	}
 	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -52,7 +52,7 @@ func WithTracer(t *Tracer) Option {
 // run's transport byte totals. The query's results are discarded; any
 // tracer attached with WithTracer still receives the events.
 func (q *Query) ExplainAnalyze(ctx context.Context, s Strategy) (string, error) {
-	res, _, err := q.planFor(s)
+	res, _, planCached, err := q.planFor(s)
 	if err != nil {
 		return "", err
 	}
@@ -65,7 +65,7 @@ func (q *Query) ExplainAnalyze(ctx context.Context, s Strategy) (string, error) 
 	if err != nil {
 		return "", err
 	}
-	return engine.ExplainAnalyze(res.Rounds, col.Events(), report), nil
+	return explainWithPlanOrigin(engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached), nil
 }
 
 // explainOpts resolves a run's engine options, attaching an event collector

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"parajoin/internal/cache"
 	"parajoin/internal/core"
 	"parajoin/internal/engine"
 	"parajoin/internal/ljoin"
@@ -151,6 +152,12 @@ type DB struct {
 	workers  int
 	maxOrder int
 	seed     int64
+	// planCache and resultCache are nil unless enabled with WithPlanCache /
+	// WithResultCache; chaos records that a fault plan wraps the transport,
+	// which disqualifies runs from the result cache (see cache.go).
+	planCache   *cache.PlanCache
+	resultCache *cache.ResultCache
+	chaos       bool
 }
 
 // Option configures Open.
@@ -344,19 +351,30 @@ func (db *DB) Query(rule string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := q.NumParams(); n > 0 {
+		return nil, fmt.Errorf("parajoin: rule has %d unbound parameter(s); use Prepare for parameterized rules", n)
+	}
+	if err := db.checkAtoms(q); err != nil {
+		return nil, err
+	}
+	return &Query{db: db, q: q}, nil
+}
+
+// checkAtoms validates a parsed rule's atoms against the loaded catalog.
+func (db *DB) checkAtoms(q *core.Query) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, a := range q.Atoms {
 		r := db.rels[a.Relation]
 		if r == nil {
-			return nil, fmt.Errorf("parajoin: query %s uses unknown relation %q", q.Name, a.Relation)
+			return fmt.Errorf("parajoin: query %s uses unknown relation %q", q.Name, a.Relation)
 		}
 		if len(a.Terms) != r.Arity() {
-			return nil, fmt.Errorf("parajoin: atom %s has %d terms but relation %s has %d columns",
+			return fmt.Errorf("parajoin: atom %s has %d terms but relation %s has %d columns",
 				a, len(a.Terms), a.Relation, r.Arity())
 		}
 	}
-	return &Query{db: db, q: q}, nil
+	return nil
 }
 
 // Query is a parsed, bound query ready to run.
@@ -378,11 +396,18 @@ func (q *Query) Run(ctx context.Context) (*Result, error) {
 }
 
 // planFor resolves Auto and plans the query under the chosen strategy.
-func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, error) {
+// The returned bool reports a plan-cache hit: the physical plan was
+// rebuilt from cached optimizer decisions, skipping strategy resolution,
+// share optimization, and order search.
+func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, bool, error) {
 	planStart := time.Now()
 	defer func() { planSeconds.ObserveDuration(time.Since(planStart)) }()
 	db := q.db
 	db.mu.Lock()
+	// The epoch is read with the catalog snapshot under db.mu (every
+	// mutation holds db.mu while bumping it through cluster.Load), so a
+	// cached entry keyed on it always matches these statistics.
+	epoch := db.cluster.DataEpoch()
 	catalog := stats.NewCatalog()
 	relCopy := make(map[string]*rel.Relation, len(db.rels))
 	for name, r := range db.rels {
@@ -399,18 +424,42 @@ func (q *Query) planFor(s Strategy) (*planner.Result, Strategy, error) {
 	}
 	db.mu.Unlock()
 
+	var shape cache.Shape
+	var planKey string
+	if db.planCache != nil {
+		shape = cache.Normalize(q.q)
+		planKey = shape.PlanKey(string(s))
+		if e := db.planCache.Get(planKey, epoch); e != nil {
+			if hints := e.Hints(shape.Vars); hints != nil {
+				rs := Strategy(e.Strategy)
+				if cfg, err := rs.planConfig(); err == nil {
+					p.Hints = hints
+					if res, err := p.Plan(q.q, cfg); err == nil {
+						return res, rs, true, nil
+					}
+					// A hint the planner rejected (stale shape, impossible
+					// grid) degrades to a fresh plan, never an error.
+					p.Hints = nil
+				}
+			}
+		}
+	}
+
 	if s == Auto {
 		s = chooseStrategy(q.q, catalog, db.workers)
 	}
 	cfg, err := s.planConfig()
 	if err != nil {
-		return nil, s, err
+		return nil, s, false, err
 	}
 	res, err := p.Plan(q.q, cfg)
 	if err != nil {
-		return nil, s, err
+		return nil, s, false, err
 	}
-	return res, s, nil
+	if db.planCache != nil {
+		db.planCache.Put(planKey, epoch, cache.NewPlanEntry(string(s), res, shape.VarIndex()))
+	}
+	return res, s, false, nil
 }
 
 // RunOptions tunes one execution of a query.
@@ -464,13 +513,28 @@ func (q *Query) RunWith(ctx context.Context, s Strategy) (*Result, error) {
 // RunWithOptions evaluates the query with explicit per-run options.
 func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, error) {
 	db := q.db
-	res, s, err := q.planFor(opts.strategy())
+	start := time.Now()
+	rkey, epoch, useRC := db.resultProbe(q.q, "run", opts)
+	if useRC {
+		if r := db.resultCache.Get(rkey, epoch); r != nil {
+			return &Result{
+				Columns: r.Columns,
+				Rows:    r.Rows,
+				Stats: Stats{
+					Strategy:     Strategy(r.Strategy),
+					Workers:      db.workers,
+					Wall:         time.Since(start),
+					ResultCached: true,
+				},
+			}, nil
+		}
+	}
+	res, s, planCached, err := q.planFor(opts.strategy())
 	if err != nil {
 		return nil, err
 	}
 	eopts, col := db.explainOpts(opts)
 
-	start := time.Now()
 	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, eopts)
 	if err != nil {
 		return nil, err
@@ -489,11 +553,13 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 			TuplesShuffled:  report.TotalTuplesShuffled(),
 			MaxConsumerSkew: report.MaxConsumerSkew(),
 			Workers:         db.workers,
+			PlanCached:      planCached,
 		},
 	}
 	result.Stats.fromReport(report)
 	if col != nil {
-		result.Stats.Explain = engine.ExplainAnalyze(res.Rounds, col.Events(), report)
+		result.Stats.Explain = explainWithPlanOrigin(
+			engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached)
 	}
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
@@ -507,6 +573,11 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 	}
 	for i, t := range out.Tuples {
 		result.Rows[i] = []int64(t)
+	}
+	if useRC && db.cluster.DataEpoch() == epoch {
+		db.resultCache.Put(rkey, epoch, &cache.Result{
+			Strategy: string(s), Columns: result.Columns, Rows: result.Rows,
+		})
 	}
 	return result, nil
 }
@@ -528,7 +599,19 @@ func (q *Query) CountWith(ctx context.Context, s Strategy) (int64, *Stats, error
 // CountWithOptions is Count with explicit per-run options.
 func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *Stats, error) {
 	db := q.db
-	res, s, err := q.planFor(opts.strategy())
+	start := time.Now()
+	rkey, epoch, useRC := db.resultProbe(q.q, "count", opts)
+	if useRC {
+		if r := db.resultCache.Get(rkey, epoch); r != nil {
+			return r.Count, &Stats{
+				Strategy:     Strategy(r.Strategy),
+				Workers:      db.workers,
+				Wall:         time.Since(start),
+				ResultCached: true,
+			}, nil
+		}
+	}
+	res, s, planCached, err := q.planFor(opts.strategy())
 	if err != nil {
 		return 0, nil, err
 	}
@@ -542,7 +625,6 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 	}
 	eopts, col := db.explainOpts(opts)
 
-	start := time.Now()
 	out, report, err := db.cluster.RunRoundsOpts(ctx, res.Rounds, eopts)
 	if err != nil {
 		return 0, nil, err
@@ -558,10 +640,15 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 		CPU:             report.TotalCPU(),
 		TuplesShuffled:  report.TotalTuplesShuffled(),
 		MaxConsumerSkew: report.MaxConsumerSkew(),
+		PlanCached:      planCached,
 	}
 	st.fromReport(report)
 	if col != nil {
-		st.Explain = engine.ExplainAnalyze(res.Rounds, col.Events(), report)
+		st.Explain = explainWithPlanOrigin(
+			engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached)
+	}
+	if useRC && db.cluster.DataEpoch() == epoch {
+		db.resultCache.Put(rkey, epoch, &cache.Result{Strategy: string(s), Count: total})
 	}
 	return total, st, nil
 }
@@ -603,6 +690,12 @@ type Stats struct {
 	// Explain is the run's EXPLAIN ANALYZE rendering, captured from the
 	// actual execution when RunOptions.Explain was set (empty otherwise).
 	Explain string
+	// PlanCached reports that the physical plan was rebuilt from cached
+	// optimizer decisions (share optimization and order search skipped);
+	// ResultCached reports that the answer itself was replayed from the
+	// result cache without executing at all.
+	PlanCached   bool
+	ResultCached bool
 }
 
 // fromReport copies the report's spill and parallel-join counters into a

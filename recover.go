@@ -30,6 +30,9 @@ func WithFaultPlan(p *fault.Plan) Option {
 		if p == nil {
 			return
 		}
+		// Chaos runs may fail, stall, or retry nondeterministically, so
+		// they are barred from the result cache in both directions.
+		db.chaos = true
 		inj := p.NewInjector()
 		db.cluster.WrapTransport(func(t engine.Transport) engine.Transport {
 			return fault.Wrap(t, inj)
