@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parajoin/internal/colbatch"
 	"parajoin/internal/wire"
 )
 
@@ -98,6 +99,11 @@ type Options struct {
 	// (default 100ms). Useful when the daemon is still starting.
 	Retries      int
 	RetryBackoff time.Duration
+	// NoColumnarResults stops the client from requesting the protocol-v3
+	// columnar result encoding; responses then carry plain JSON rows. By
+	// default the client asks for colbatch rows and decodes them
+	// transparently — callers see [][]int64 either way.
+	NoColumnarResults bool
 }
 
 func (o Options) withDefaults() Options {
@@ -176,8 +182,9 @@ type Relation struct {
 
 // Client is a connection to a parajoind server, safe for concurrent use.
 type Client struct {
-	conn net.Conn
-	wmu  sync.Mutex // serializes request frames
+	conn       net.Conn
+	noColumnar bool       // never ask for colbatch-encoded rows
+	wmu        sync.Mutex // serializes request frames
 
 	mu      sync.Mutex
 	pending map[uint64]chan *wire.Response
@@ -215,7 +222,7 @@ func Dial(addr string, opts Options) (*Client, error) {
 		time.Sleep(backoff)
 		backoff *= 2
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]chan *wire.Response)}
+	c := &Client{conn: conn, noColumnar: opts.NoColumnarResults, pending: make(map[uint64]chan *wire.Response)}
 	go c.readLoop()
 	return c, nil
 }
@@ -359,8 +366,8 @@ func (c *Client) Relations(ctx context.Context) ([]Relation, error) {
 	return out, nil
 }
 
-func queryReq(op, rule string, opts QueryOptions) *wire.Request {
-	return &wire.Request{
+func (c *Client) queryReq(op, rule string, opts QueryOptions) *wire.Request {
+	req := &wire.Request{
 		Op:            op,
 		Rule:          rule,
 		Strategy:      opts.Strategy,
@@ -368,6 +375,25 @@ func queryReq(op, rule string, opts QueryOptions) *wire.Request {
 		BudgetTuples:  opts.BudgetTuples,
 		Spill:         opts.Spill,
 	}
+	if !c.noColumnar && (op == wire.OpRun || op == wire.OpExecute) {
+		req.Encoding = wire.EncodingColbatch
+	}
+	return req
+}
+
+// resultRows extracts a row-bearing response's rows, decoding the columnar
+// encoding when the server used it. Plain Rows pass through untouched, so
+// the client interoperates with servers that predate (or disabled) the
+// colbatch encoding.
+func resultRows(resp *wire.Response) ([][]int64, error) {
+	if len(resp.RowsEnc) == 0 {
+		return resp.Rows, nil
+	}
+	rows, err := colbatch.DecodeRowsStream(resp.RowsEnc)
+	if err != nil {
+		return nil, fmt.Errorf("parajoind: decoding columnar rows: %w", err)
+	}
+	return rows, nil
 }
 
 func statsOf(w *wire.Stats) Stats {
@@ -394,16 +420,20 @@ func statsOf(w *wire.Stats) Stats {
 
 // Run evaluates a datalog rule on the server and returns the result rows.
 func (c *Client) Run(ctx context.Context, rule string, opts QueryOptions) (*Result, error) {
-	resp, err := c.call(ctx, queryReq(wire.OpRun, rule, opts))
+	resp, err := c.call(ctx, c.queryReq(wire.OpRun, rule, opts))
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: resp.Columns, Rows: resp.Rows, Stats: statsOf(resp.Stats)}, nil
+	rows, err := resultRows(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: rows, Stats: statsOf(resp.Stats)}, nil
 }
 
 // Count evaluates a rule and returns only the answer count.
 func (c *Client) Count(ctx context.Context, rule string, opts QueryOptions) (int64, Stats, error) {
-	resp, err := c.call(ctx, queryReq(wire.OpCount, rule, opts))
+	resp, err := c.call(ctx, c.queryReq(wire.OpCount, rule, opts))
 	if err != nil {
 		return 0, Stats{}, err
 	}
@@ -412,7 +442,7 @@ func (c *Client) Count(ctx context.Context, rule string, opts QueryOptions) (int
 
 // Explain runs EXPLAIN ANALYZE on a rule and returns the rendered plan.
 func (c *Client) Explain(ctx context.Context, rule string, opts QueryOptions) (string, error) {
-	resp, err := c.call(ctx, queryReq(wire.OpExplain, rule, opts))
+	resp, err := c.call(ctx, c.queryReq(wire.OpExplain, rule, opts))
 	if err != nil {
 		return "", err
 	}
@@ -457,14 +487,18 @@ func (s *Stmt) Execute(ctx context.Context, args ...int64) (*Result, error) {
 
 // ExecuteWith is Execute with per-call query options.
 func (s *Stmt) ExecuteWith(ctx context.Context, opts QueryOptions, args ...int64) (*Result, error) {
-	req := queryReq(wire.OpExecute, "", opts)
+	req := s.c.queryReq(wire.OpExecute, "", opts)
 	req.Stmt = s.id
 	req.Args = args
 	resp, err := s.c.call(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: resp.Columns, Rows: resp.Rows, Stats: statsOf(resp.Stats)}, nil
+	rows, err := resultRows(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: resp.Columns, Rows: rows, Stats: statsOf(resp.Stats)}, nil
 }
 
 // Close frees the statement on the server. Closing twice is harmless, and

@@ -73,6 +73,7 @@ func main() {
 		retryBudget   = flag.Int("retry-budget", 2, "automatic re-executions after a retryable transport failure (0 or negative disables)")
 		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before the first re-execution, doubling per retry")
 		faultPlan     = flag.String("fault-plan", "", "deterministic fault-injection plan for chaos testing, e.g. 'seed=1;drop:exchange=0,nth=3' (see internal/fault)")
+		noColumnar    = flag.Bool("no-columnar-results", false, "always answer with plain JSON rows, ignoring clients' columnar-encoding requests")
 	)
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a relation, name=file.csv (repeatable)")
@@ -187,6 +188,7 @@ func main() {
 		Tracer:            tracer,
 		RetryBudget:       budget,
 		RetryBackoff:      *retryBackoff,
+		NoColumnarResults: *noColumnar,
 	}
 	if slowLogFile != nil {
 		cfg.SlowQueryLog = slowLogFile

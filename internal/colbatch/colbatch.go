@@ -1,0 +1,458 @@
+package colbatch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"parajoin/internal/rel"
+)
+
+// Format constants. The header is validated in full before any
+// payload-proportional allocation happens, and the checksum before any
+// column is decoded.
+const (
+	// Magic opens every batch.
+	Magic = "PJCB"
+	// Version is the format revision this package reads and writes.
+	Version = 1
+	// HeaderSize is the fixed batch header length in bytes.
+	HeaderSize = 20
+	// MaxRows caps the rows of a single batch. Larger row sets travel as a
+	// stream of batches (AppendRowsStream), which bounds how much a decoder
+	// allocates before each chunk's checksum has been verified.
+	MaxRows = 1 << 20
+	// MaxCols caps a batch's column count.
+	MaxCols = 1 << 14
+	// MaxPayload caps a batch's payload length.
+	MaxPayload = 1 << 30
+	// maxDict is the largest per-column dictionary the encoder builds; a
+	// column with more distinct values falls back to raw varints.
+	maxDict = 4096
+)
+
+// Column encodings.
+const (
+	encConst byte = 0 // one varint, repeated for every row
+	encRaw   byte = 1 // rows zigzag varints in row order
+	encDict  byte = 2 // uvarint count, dictionary varints, row indexes
+)
+
+// zigzagLen is the encoded length of v as a zigzag varint.
+func zigzagLen(v int64) int {
+	u := uint64(v<<1) ^ uint64(v>>63)
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+// Encoder turns row batches into encoded columnar batches. The zero value
+// is ready to use; an Encoder amortizes its transpose and dictionary
+// scratch across calls and is not safe for concurrent use.
+type Encoder struct {
+	cols     [][]int64
+	colArena []int64
+	dict     map[int64]uint32
+	dictVals []int64
+	idx      []uint32
+}
+
+// AppendTuples appends the encoded form of rows (all of one arity) to dst
+// and returns the extended slice.
+func (e *Encoder) AppendTuples(dst []byte, rows []rel.Tuple) ([]byte, error) {
+	ncols := 0
+	if len(rows) > 0 {
+		ncols = len(rows[0])
+	}
+	if err := e.transpose(len(rows), ncols, func(i int) []int64 { return rows[i] }); err != nil {
+		return nil, err
+	}
+	return e.appendBatch(dst, len(rows), ncols)
+}
+
+// AppendRows is AppendTuples for plain [][]int64 rows (the wire layer's row
+// representation).
+func (e *Encoder) AppendRows(dst []byte, rows [][]int64) ([]byte, error) {
+	ncols := 0
+	if len(rows) > 0 {
+		ncols = len(rows[0])
+	}
+	if err := e.transpose(len(rows), ncols, func(i int) []int64 { return rows[i] }); err != nil {
+		return nil, err
+	}
+	return e.appendBatch(dst, len(rows), ncols)
+}
+
+// transpose fills e.cols with the batch's values column-major.
+func (e *Encoder) transpose(nrows, ncols int, row func(int) []int64) error {
+	if nrows > MaxRows {
+		return fmt.Errorf("colbatch: batch of %d rows exceeds limit %d", nrows, MaxRows)
+	}
+	if ncols > MaxCols {
+		return fmt.Errorf("colbatch: batch of %d columns exceeds limit %d", ncols, MaxCols)
+	}
+	if cap(e.colArena) < nrows*ncols {
+		e.colArena = make([]int64, nrows*ncols)
+	}
+	if cap(e.cols) < ncols {
+		e.cols = make([][]int64, ncols)
+	}
+	e.cols = e.cols[:ncols]
+	for j := range e.cols {
+		e.cols[j] = e.colArena[j*nrows : (j+1)*nrows]
+	}
+	for i := 0; i < nrows; i++ {
+		r := row(i)
+		if len(r) != ncols {
+			return fmt.Errorf("colbatch: row %d has arity %d, batch has %d", i, len(r), ncols)
+		}
+		for j, v := range r {
+			e.cols[j][i] = v
+		}
+	}
+	return nil
+}
+
+// appendBatch encodes e.cols (nrows values each) after dst.
+func (e *Encoder) appendBatch(dst []byte, nrows, ncols int) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	payloadStart := len(dst)
+	for j := 0; j < ncols; j++ {
+		dst = e.appendColumn(dst, e.cols[j])
+	}
+	payload := dst[payloadStart:]
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("colbatch: payload of %d bytes exceeds limit %d", len(payload), MaxPayload)
+	}
+	hdr := dst[start:payloadStart]
+	copy(hdr, Magic)
+	hdr[4] = Version
+	hdr[5] = 0
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(ncols))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(nrows))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(payload))
+	counters.batchesEncoded.Add(1)
+	counters.bytesEncoded.Add(int64(len(dst) - start))
+	counters.bytesRaw.Add(8 * int64(nrows) * int64(ncols))
+	return dst, nil
+}
+
+// appendColumn picks the smallest of the three encodings for col and
+// appends it.
+func (e *Encoder) appendColumn(dst []byte, col []int64) []byte {
+	if len(col) == 0 {
+		return append(dst, encRaw)
+	}
+	// One scan builds the dictionary (first-appearance order, abandoned
+	// past maxDict or half the rows — beyond that raw can't lose by much)
+	// and the exact encoded sizes of every alternative.
+	if e.dict == nil {
+		e.dict = make(map[int64]uint32, maxDict)
+	}
+	clear(e.dict)
+	e.dictVals = e.dictVals[:0]
+	if cap(e.idx) < len(col) {
+		e.idx = make([]uint32, len(col))
+	}
+	e.idx = e.idx[:len(col)]
+	dictLimit := maxDict
+	if half := len(col) / 2; half < dictLimit {
+		dictLimit = half + 1
+	}
+	rawSize, idxSize, dictOK := 0, 0, true
+	for i, v := range col {
+		rawSize += zigzagLen(v)
+		if !dictOK {
+			continue
+		}
+		k, ok := e.dict[v]
+		if !ok {
+			if len(e.dictVals) >= dictLimit {
+				dictOK = false
+				continue
+			}
+			k = uint32(len(e.dictVals))
+			e.dict[v] = k
+			e.dictVals = append(e.dictVals, v)
+		}
+		e.idx[i] = k
+		idxSize += uvarintLen(uint64(k))
+	}
+	if dictOK && len(e.dictVals) == 1 {
+		counters.valuesConst.Add(int64(len(col)))
+		dst = append(dst, encConst)
+		return binary.AppendVarint(dst, col[0])
+	}
+	if dictOK {
+		dictSize := uvarintLen(uint64(len(e.dictVals))) + idxSize
+		for _, v := range e.dictVals {
+			dictSize += zigzagLen(v)
+		}
+		if dictSize < rawSize {
+			counters.valuesDict.Add(int64(len(col)))
+			dst = append(dst, encDict)
+			dst = binary.AppendUvarint(dst, uint64(len(e.dictVals)))
+			for _, v := range e.dictVals {
+				dst = binary.AppendVarint(dst, v)
+			}
+			for _, k := range e.idx {
+				dst = binary.AppendUvarint(dst, uint64(k))
+			}
+			return dst
+		}
+	}
+	counters.valuesRaw.Add(int64(len(col)))
+	dst = append(dst, encRaw)
+	for _, v := range col {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// Batch is one decoded columnar batch: per-column int64 vectors over a
+// shared arena.
+type Batch struct {
+	cols [][]int64
+	rows int
+}
+
+// Rows returns the batch's row count.
+func (b *Batch) Rows() int { return b.rows }
+
+// Cols returns the batch's column count.
+func (b *Batch) Cols() int { return len(b.cols) }
+
+// Col returns column j's values in row order. The slice aliases the
+// batch's arena; callers must not mutate it.
+func (b *Batch) Col(j int) []int64 { return b.cols[j] }
+
+// Tuples materializes the batch row-major as a tuple slice. All tuples
+// share one backing arena (two allocations total, not one per row); their
+// capacities are clamped so appending to one can never bleed into its
+// neighbor. Callers own the result.
+func (b *Batch) Tuples() []rel.Tuple {
+	ncols := len(b.cols)
+	out := make([]rel.Tuple, b.rows)
+	arena := make([]int64, b.rows*ncols)
+	for i := range out {
+		t := arena[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for j, col := range b.cols {
+			t[j] = col[i]
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// AppendRows appends the batch's rows, materialized as []int64 slices over
+// a shared arena, to dst.
+func (b *Batch) AppendRows(dst [][]int64) [][]int64 {
+	ncols := len(b.cols)
+	arena := make([]int64, b.rows*ncols)
+	for i := 0; i < b.rows; i++ {
+		r := arena[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for j, col := range b.cols {
+			r[j] = col[i]
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// Decode decodes data, which must hold exactly one batch.
+func Decode(data []byte) (*Batch, error) {
+	b, n, err := DecodeNext(data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("colbatch: %d trailing bytes after batch", len(data)-n)
+	}
+	return b, nil
+}
+
+// DecodeNext decodes the batch at the head of data and returns it with the
+// number of bytes it occupied — the stream-reading form. Every limit and
+// the checksum are verified before the value arena is allocated.
+func DecodeNext(data []byte) (*Batch, int, error) {
+	if len(data) < HeaderSize {
+		return nil, 0, fmt.Errorf("colbatch: truncated header (%d of %d bytes)", len(data), HeaderSize)
+	}
+	if string(data[:4]) != Magic {
+		return nil, 0, fmt.Errorf("colbatch: bad magic %q", data[:4])
+	}
+	if data[4] != Version {
+		return nil, 0, fmt.Errorf("colbatch: unsupported version %d (want %d)", data[4], Version)
+	}
+	if data[5] != 0 {
+		return nil, 0, fmt.Errorf("colbatch: unknown flags %#x", data[5])
+	}
+	ncols := int(binary.LittleEndian.Uint16(data[6:]))
+	nrows := int(binary.LittleEndian.Uint32(data[8:]))
+	plen := int(binary.LittleEndian.Uint32(data[12:]))
+	sum := binary.LittleEndian.Uint32(data[16:])
+	if ncols > MaxCols {
+		return nil, 0, fmt.Errorf("colbatch: %d columns exceeds limit %d", ncols, MaxCols)
+	}
+	if nrows > MaxRows {
+		return nil, 0, fmt.Errorf("colbatch: %d rows exceeds limit %d", nrows, MaxRows)
+	}
+	if plen > MaxPayload {
+		return nil, 0, fmt.Errorf("colbatch: payload of %d bytes exceeds limit %d", plen, MaxPayload)
+	}
+	if len(data) < HeaderSize+plen {
+		return nil, 0, fmt.Errorf("colbatch: truncated payload (%d of %d bytes)", len(data)-HeaderSize, plen)
+	}
+	payload := data[HeaderSize : HeaderSize+plen]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, 0, fmt.Errorf("colbatch: checksum mismatch: header %#x, payload %#x", sum, got)
+	}
+	b := &Batch{rows: nrows, cols: make([][]int64, ncols)}
+	arena := make([]int64, nrows*ncols)
+	for j := 0; j < ncols; j++ {
+		col := arena[j*nrows : (j+1)*nrows]
+		n, err := decodeColumn(col, payload)
+		if err != nil {
+			return nil, 0, fmt.Errorf("colbatch: column %d: %w", j, err)
+		}
+		payload = payload[n:]
+		b.cols[j] = col
+	}
+	if len(payload) != 0 {
+		return nil, 0, fmt.Errorf("colbatch: %d undecoded payload bytes", len(payload))
+	}
+	counters.batchesDecoded.Add(1)
+	counters.bytesDecoded.Add(int64(HeaderSize + plen))
+	return b, HeaderSize + plen, nil
+}
+
+// decodeColumn decodes one column block from the head of payload into col
+// and returns the bytes consumed.
+func decodeColumn(col []int64, payload []byte) (int, error) {
+	if len(payload) == 0 {
+		return 0, fmt.Errorf("missing encoding byte")
+	}
+	enc := payload[0]
+	p := payload[1:]
+	used := 1
+	readVarint := func() (int64, error) {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("bad varint at payload offset %d", used)
+		}
+		p = p[n:]
+		used += n
+		return v, nil
+	}
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("bad uvarint at payload offset %d", used)
+		}
+		p = p[n:]
+		used += n
+		return v, nil
+	}
+	switch enc {
+	case encConst:
+		if len(col) == 0 {
+			return 0, fmt.Errorf("const encoding for empty column")
+		}
+		v, err := readVarint()
+		if err != nil {
+			return 0, err
+		}
+		for i := range col {
+			col[i] = v
+		}
+	case encRaw:
+		for i := range col {
+			v, err := readVarint()
+			if err != nil {
+				return 0, err
+			}
+			col[i] = v
+		}
+	case encDict:
+		d, err := readUvarint()
+		if err != nil {
+			return 0, err
+		}
+		if d == 0 || d > uint64(len(col)) || d > maxDict {
+			return 0, fmt.Errorf("dictionary of %d entries for %d rows", d, len(col))
+		}
+		dict := make([]int64, d)
+		for i := range dict {
+			if dict[i], err = readVarint(); err != nil {
+				return 0, err
+			}
+		}
+		for i := range col {
+			k, err := readUvarint()
+			if err != nil {
+				return 0, err
+			}
+			if k >= d {
+				return 0, fmt.Errorf("dictionary index %d out of %d entries", k, d)
+			}
+			col[i] = dict[k]
+		}
+	default:
+		return 0, fmt.Errorf("unknown column encoding %d", enc)
+	}
+	return used, nil
+}
+
+// streamChunkRows is the per-batch row cap AppendRowsStream chunks at:
+// well under MaxRows, so stream readers allocate modest arenas per chunk.
+const streamChunkRows = 1 << 16
+
+// AppendRowsStream encodes rows as one or more concatenated batches of at
+// most streamChunkRows rows each and appends them to dst. An empty row set
+// encodes as a single empty batch, so a stream is never zero bytes.
+func AppendRowsStream(dst []byte, rows [][]int64) ([]byte, error) {
+	var e Encoder
+	if len(rows) == 0 {
+		return e.AppendRows(dst, nil)
+	}
+	var err error
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > streamChunkRows {
+			n = streamChunkRows
+		}
+		if dst, err = e.AppendRows(dst, rows[:n]); err != nil {
+			return nil, err
+		}
+		rows = rows[n:]
+	}
+	return dst, nil
+}
+
+// DecodeRowsStream decodes a concatenation of batches back into rows.
+func DecodeRowsStream(data []byte) ([][]int64, error) {
+	var rows [][]int64
+	for len(data) > 0 {
+		b, n, err := DecodeNext(data)
+		if err != nil {
+			return nil, err
+		}
+		data = data[n:]
+		rows = b.AppendRows(rows)
+	}
+	return rows, nil
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"parajoin/internal/rel"
+)
+
+// loopbackClusterOpts is loopbackCluster with explicit transport options.
+func loopbackClusterOpts(t *testing.T, n int, opts TCPOptions) *Cluster {
+	t.Helper()
+	addrs := make([]string, n)
+	hosted := make([]int, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+		hosted[i] = i
+	}
+	tr, err := NewTCPTransportOpts(addrs, hosted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClusterWithTransport(n, tr)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestTCPColumnarMatchesLegacy runs the same shuffle over columnar frames
+// (the default) and legacy row-form frames: the bags must be identical and
+// the columnar run must put strictly fewer bytes on the wire.
+func TestTCPColumnarMatchesLegacy(t *testing.T) {
+	r := randGraph("R", 1500, 80, 46)
+	plan := shuffleGather("R", []string{"dst"})
+
+	run := func(c *Cluster) (*rel.Relation, int64) {
+		t.Helper()
+		c.Load(r)
+		got, _, err := c.Run(context.Background(), plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := c.Transport().(TransportMeter).TransportStats()
+		if stats.BytesSent != stats.BytesReceived {
+			t.Fatalf("byte totals disagree: sent=%d received=%d", stats.BytesSent, stats.BytesReceived)
+		}
+		return got, stats.BytesSent
+	}
+
+	colGot, colBytes := run(loopbackCluster(t, 3))
+	legGot, legBytes := run(loopbackClusterOpts(t, 3, TCPOptions{LegacyTuples: true}))
+
+	if !colGot.Equal(legGot) {
+		t.Fatalf("columnar and legacy shuffles diverged: %d vs %d tuples",
+			colGot.Cardinality(), legGot.Cardinality())
+	}
+	if colBytes >= legBytes {
+		t.Fatalf("columnar frames not smaller: %d vs legacy %d bytes", colBytes, legBytes)
+	}
+}
+
+// TestTCPColumnarByteParityAfterResend extends the byte-parity invariant
+// through the reconnect/resend path: a connection kill between two columnar
+// sends forces a redial that replays the unacked frame, and once the inbox
+// drains, cross-endpoint sent and received byte totals must still agree —
+// the resent frame's bytes are counted on both sides, and the duplicate the
+// receiver drops was still read (and counted) off the wire.
+func TestTCPColumnarByteParityAfterResend(t *testing.T) {
+	trA, err := NewTCPTransport([]string{"127.0.0.1:0", "127.0.0.1:0"}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trB, err := NewTCPTransport(trA.Addrs(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	trA.SetPeerAddrs(trB.Addrs())
+
+	ctx := context.Background()
+	if err := trA.Send(ctx, 0, 0, 1, []rel.Tuple{{1, 10}, {1, 11}, {2, 10}}); err != nil {
+		t.Fatalf("send before kill: %v", err)
+	}
+	waitUntil(t, func() bool { return trB.QueueCount() >= 1 }, "first frame delivery")
+
+	trA.KillConnections()
+	trB.KillConnections()
+
+	if err := trA.Send(ctx, 0, 0, 1, []rel.Tuple{{3, 10}, {3, 11}}); err != nil {
+		t.Fatalf("send after kill: %v", err)
+	}
+	if err := trA.CloseSend(ctx, 0, 0); err != nil {
+		t.Fatalf("close send A: %v", err)
+	}
+	if err := trB.CloseSend(ctx, 0, 1); err != nil {
+		t.Fatalf("close send B: %v", err)
+	}
+
+	var got []rel.Tuple
+	for {
+		b, ok, err := trB.Recv(ctx, 0, 1)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, b...)
+	}
+	if len(got) != 5 {
+		t.Fatalf("drained %d tuples, want exactly 5: %v", len(got), got)
+	}
+	// Drain worker 0's (empty) inbox on A too: its queue closes only after
+	// both close frames bound for A have been read off the wire, so once
+	// Recv reports done every data-direction frame has been counted.
+	for {
+		b, ok, err := trA.Recv(ctx, 0, 0)
+		if err != nil {
+			t.Fatalf("recv A: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if len(b) != 0 {
+			t.Fatalf("worker 0 received unexpected tuples: %v", b)
+		}
+	}
+
+	var reconnects int64
+	for _, ph := range trA.PeerHealth() {
+		reconnects += ph.Reconnects
+	}
+	if reconnects == 0 {
+		t.Fatal("no reconnect observed — the kill did not exercise the resend path")
+	}
+
+	// Acks ride the reverse direction uncounted, so even with the replayed
+	// frame the data direction's totals must match exactly across endpoints.
+	sa := trA.TransportStats()
+	sb := trB.TransportStats()
+	if sa.BytesSent+sb.BytesSent == 0 {
+		t.Fatal("no bytes metered")
+	}
+	if got, want := sa.BytesReceived+sb.BytesReceived, sa.BytesSent+sb.BytesSent; got != want {
+		t.Fatalf("byte parity broken after resend: received=%d sent=%d (A %+v, B %+v)", got, want, sa, sb)
+	}
+}
+
+// TestTCPLegacyPeerInterop sends legacy row-form frames into a
+// default-columnar transport: receive always accepts both forms, so a
+// mixed-version cluster keeps working.
+func TestTCPLegacyPeerInterop(t *testing.T) {
+	trOld, err := NewTCPTransportOpts([]string{"127.0.0.1:0", "127.0.0.1:0"}, []int{0}, TCPOptions{LegacyTuples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trOld.Close()
+	trNew, err := NewTCPTransport(trOld.Addrs(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trNew.Close()
+	trOld.SetPeerAddrs(trNew.Addrs())
+	trNew.SetPeerAddrs(trOld.Addrs())
+
+	ctx := context.Background()
+	want := []rel.Tuple{{7, 8}, {9, 10}}
+	if err := trOld.Send(ctx, 0, 0, 1, want); err != nil {
+		t.Fatalf("legacy send: %v", err)
+	}
+	if err := trOld.CloseSend(ctx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := trNew.CloseSend(ctx, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var got []rel.Tuple
+	for {
+		b, ok, err := trNew.Recv(ctx, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, b...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMemTransportColumnarMatchesLegacy checks the in-memory columnar mode:
+// identical join output, byte counters reporting the (smaller) encoded
+// sizes.
+func TestMemTransportColumnarMatchesLegacy(t *testing.T) {
+	r := randGraph("R", 600, 50, 47)
+	s := randGraph("S", 600, 50, 48)
+
+	run := func(columnar bool) (*rel.Relation, int64) {
+		t.Helper()
+		c := NewCluster(4)
+		defer c.Close()
+		c.Transport().(*MemTransport).Columnar = columnar
+		c.Load(r)
+		c.Load(s)
+		got, _, err := c.Run(context.Background(), rsJoinPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := c.Transport().(TransportMeter).TransportStats()
+		if stats.BytesSent != stats.BytesReceived {
+			t.Fatalf("columnar=%v: sent=%d received=%d", columnar, stats.BytesSent, stats.BytesReceived)
+		}
+		return got.Clone().Dedup(), stats.BytesSent
+	}
+
+	colGot, colBytes := run(true)
+	legGot, legBytes := run(false)
+	if !colGot.Equal(legGot) {
+		t.Fatalf("columnar mem transport changed the join: %d vs %d tuples",
+			colGot.Cardinality(), legGot.Cardinality())
+	}
+	if colBytes >= legBytes {
+		t.Fatalf("encoded bytes %d not below flat accounting %d", colBytes, legBytes)
+	}
+}

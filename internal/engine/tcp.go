@@ -10,19 +10,23 @@ import (
 	"sync"
 	"time"
 
+	"parajoin/internal/colbatch"
 	"parajoin/internal/rel"
 	"parajoin/internal/trace"
 )
 
 // TCPTransport is the wire implementation of Transport: workers exchange
-// gob-encoded tuple frames over TCP connections. A transport instance hosts
-// one or more workers of the cluster (all of them for a single-process
-// loopback cluster, one per process for a real deployment) and dials peers
-// lazily.
+// dictionary-encoded columnar batches (internal/colbatch frames, gob-framed)
+// over TCP connections. A transport instance hosts one or more workers of
+// the cluster (all of them for a single-process loopback cluster, one per
+// process for a real deployment) and dials peers lazily.
 //
 // Framing is one gob stream per (sender-process → receiver-worker-host)
 // connection carrying frames of the form {Exchange, Src, Dst, Seq, Close,
-// Tuples}. The transport is self-healing: every data frame carries a
+// Col}, where Col is one encoded colbatch batch. TCPOptions.LegacyTuples
+// restores the pre-colbatch row-form {..., Tuples} frames; both forms are
+// understood on receive regardless of the option, so mixed-version clusters
+// interoperate. The transport is self-healing: every data frame carries a
 // per-(exchange, src, dst) sequence number and stays buffered on the sender
 // until the receiver acknowledges it on the reverse direction of the same
 // connection. When a write fails (or a dial breaks), the sender redials
@@ -77,6 +81,11 @@ type TCPOptions struct {
 	// fresh. Off by default: exchanges are rarely idle, and heartbeat
 	// frames would perturb byte-level send/receive parity.
 	HeartbeatEvery time.Duration
+	// LegacyTuples sends row-form gob tuple frames instead of columnar
+	// colbatch frames — the pre-colbatch wire layout, kept for byte-level
+	// A/B comparison and for talking to peers that predate the columnar
+	// format. Receiving accepts both forms regardless of this option.
+	LegacyTuples bool
 	// Seed drives backoff jitter. No global randomness: the same seed
 	// yields the same redial schedule.
 	Seed int64
@@ -117,7 +126,9 @@ type seqKey struct {
 
 // frame is the wire unit. Data and close frames flow sender→receiver and
 // carry Seq; ack frames flow back on the same connection (Ack set, Seq the
-// acknowledged number); heartbeat pings carry HB, pongs HB+Ack.
+// acknowledged number); heartbeat pings carry HB, pongs HB+Ack. A data
+// frame carries its batch either as Col (one encoded colbatch batch, the
+// default) or as Tuples (the legacy row form) — never both.
 type frame struct {
 	Exchange int
 	Src      int
@@ -127,6 +138,7 @@ type frame struct {
 	Ack      bool
 	HB       bool
 	Tuples   [][]int64
+	Col      []byte
 }
 
 // tcpPeer is the sending half toward one peer address: the connection, the
@@ -205,6 +217,15 @@ func NewTCPTransportOpts(addrs []string, hosted []int, opts TCPOptions) (*TCPTra
 	}
 	registerTCP(t)
 	return t, nil
+}
+
+// SetLegacyTuples flips the frame encoding between columnar (false, the
+// default) and legacy row-form tuples (true) — see TCPOptions.LegacyTuples.
+// Call before the first Send; receiving always accepts both forms.
+func (t *TCPTransport) SetLegacyTuples(v bool) {
+	t.mu.Lock()
+	t.opts.LegacyTuples = v
+	t.mu.Unlock()
 }
 
 // Addrs returns the resolved listen addresses (useful with ":0" listeners).
@@ -300,6 +321,24 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			}
 			continue
 		}
+		// Decode columnar payloads before admitting or acking: a corrupt
+		// batch (checksum or bounds failure) must not bump the dedup
+		// high-water mark or trim the sender's replay buffer. Dropping the
+		// connection instead makes the sender redial and resend the frame,
+		// the same repair path as a lost write.
+		var batch []rel.Tuple
+		if len(f.Col) > 0 {
+			cb, err := colbatch.Decode(f.Col)
+			if err != nil {
+				return
+			}
+			batch = cb.Tuples()
+		} else {
+			batch = make([]rel.Tuple, len(f.Tuples))
+			for i, tu := range f.Tuples {
+				batch[i] = rel.Tuple(tu)
+			}
+		}
 		dup, released := t.admit(&f)
 		if f.Seq > 0 {
 			// Ack duplicates too: the original ack may be what got lost.
@@ -323,11 +362,7 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 			continue
 		}
 		t.countReceived(1, 0)
-		batch := make([]rel.Tuple, len(f.Tuples))
-		for i, tu := range f.Tuples {
-			batch[i] = rel.Tuple(tu)
-		}
-		q.push(batch)
+		q.push(wireBatch{tuples: batch})
 	}
 }
 
@@ -614,12 +649,21 @@ func (t *TCPTransport) Send(ctx context.Context, exchangeID, src, dst int, batch
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	tuples := make([][]int64, len(batch))
-	for i, tu := range batch {
-		tuples[i] = []int64(tu)
-	}
 	t.countSent(1, 0) // wire bytes are counted by the connection's countWriter
-	return t.send(ctx, &frame{Exchange: exchangeID, Src: src, Dst: dst, Tuples: tuples}, dst)
+	f := frame{Exchange: exchangeID, Src: src, Dst: dst}
+	if t.opts.LegacyTuples {
+		f.Tuples = make([][]int64, len(batch))
+		for i, tu := range batch {
+			f.Tuples[i] = []int64(tu)
+		}
+	} else {
+		enc, err := encodeBatch(batch)
+		if err != nil {
+			return fmt.Errorf("%w: encode batch: %v", ErrTransport, err)
+		}
+		f.Col = enc
+	}
+	return t.send(ctx, &f, dst)
 }
 
 // CloseSend implements Transport. Close frames are sequenced and
@@ -648,7 +692,7 @@ func (t *TCPTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 	if err != nil {
 		return nil, false, recvErr(ctx, err)
 	}
-	return b, ok, nil
+	return b.tuples, ok, nil
 }
 
 // releasedEpochMemory bounds the straggler filter: remembering this many

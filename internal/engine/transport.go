@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"parajoin/internal/colbatch"
 	"parajoin/internal/rel"
 )
 
@@ -62,7 +63,8 @@ type Transport interface {
 
 // TransportStats counts a transport's lifetime traffic: batches and bytes
 // in each direction plus queue-depth gauges. Byte counts are wire bytes for
-// TCPTransport and the wire-equivalent 8 bytes per value for MemTransport.
+// TCPTransport; for MemTransport they are encoded colbatch bytes when
+// Columnar is set and the wire-equivalent 8 bytes per value otherwise.
 // Counters are cumulative since the transport was created; the engine
 // snapshots them around each run to put per-run deltas in the Report.
 type TransportStats struct {
@@ -166,12 +168,31 @@ func batchWireBytes(batch []rel.Tuple) int64 {
 	return n
 }
 
+// encoders pools colbatch encoders for the columnar send paths (MemTransport
+// and TCPTransport share it) so per-batch scratch state is reused.
+var encoders = sync.Pool{New: func() any { return new(colbatch.Encoder) }}
+
+// encodeBatch encodes one tuple batch as a standalone colbatch frame.
+func encodeBatch(batch []rel.Tuple) ([]byte, error) {
+	e := encoders.Get().(*colbatch.Encoder)
+	data, err := e.AppendTuples(nil, batch)
+	encoders.Put(e)
+	return data, err
+}
+
+// wireBatch is a queued exchange batch: tuple form on the legacy path,
+// encoded colbatch bytes on the columnar path (exactly one is set).
+type wireBatch struct {
+	tuples []rel.Tuple
+	enc    []byte
+}
+
 // memQueue is an unbounded FIFO of batches with producer accounting and an
 // optional depth gauge.
 type memQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	batches [][]rel.Tuple
+	batches []wireBatch
 	open    int // producers that have not closed yet
 	ctr     *transportCounters
 }
@@ -182,7 +203,7 @@ func newMemQueue(producers int, ctr *transportCounters) *memQueue {
 	return q
 }
 
-func (q *memQueue) push(batch []rel.Tuple) {
+func (q *memQueue) push(batch wireBatch) {
 	q.mu.Lock()
 	q.batches = append(q.batches, batch)
 	// Inside the lock so the gauge can never go negative: pop decrements
@@ -210,7 +231,7 @@ var errRecvInterrupted = fmt.Errorf("engine: recv interrupted: %w", context.Canc
 
 // pop blocks until a batch is available or all producers closed. The done
 // channel aborts the wait with errRecvInterrupted.
-func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
+func (q *memQueue) pop(done <-chan struct{}) (wireBatch, bool, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
@@ -223,11 +244,11 @@ func (q *memQueue) pop(done <-chan struct{}) ([]rel.Tuple, bool, error) {
 			return b, true, nil
 		}
 		if q.open <= 0 {
-			return nil, false, nil
+			return wireBatch{}, false, nil
 		}
 		select {
 		case <-done:
-			return nil, false, errRecvInterrupted
+			return wireBatch{}, false, errRecvInterrupted
 		default:
 		}
 		q.cond.Wait()
@@ -250,6 +271,12 @@ func recvErr(ctx context.Context, err error) error {
 // and the single-process engine; TCPTransport provides the wire version.
 type MemTransport struct {
 	workers int
+	// Columnar routes batches through the colbatch codec: Send encodes each
+	// batch to the exact frame TCPTransport would put on the wire and Recv
+	// decodes it back, so byte counters report encoded bytes and benchmarks
+	// pay the real codec cost. Set it before the first Send; it is read
+	// concurrently afterwards.
+	Columnar bool
 	transportCounters
 
 	mu     sync.Mutex
@@ -289,8 +316,17 @@ func (t *MemTransport) Send(ctx context.Context, exchangeID, src, dst int, batch
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if t.Columnar {
+		enc, err := encodeBatch(batch)
+		if err != nil {
+			return fmt.Errorf("%w: encode batch: %v", ErrTransport, err)
+		}
+		t.countSent(1, int64(len(enc)))
+		t.queue(exchangeID, dst).push(wireBatch{enc: enc})
+		return nil
+	}
 	t.countSent(1, batchWireBytes(batch))
-	t.queue(exchangeID, dst).push(batch)
+	t.queue(exchangeID, dst).push(wireBatch{tuples: batch})
 	return nil
 }
 
@@ -312,10 +348,19 @@ func (t *MemTransport) Recv(ctx context.Context, exchangeID, dst int) ([]rel.Tup
 	if err != nil {
 		return nil, false, recvErr(ctx, err)
 	}
-	if ok {
-		t.countReceived(1, batchWireBytes(b))
+	if !ok {
+		return nil, false, nil
 	}
-	return b, ok, nil
+	if b.enc != nil {
+		batch, err := colbatch.Decode(b.enc)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: decode batch: %v", ErrTransport, err)
+		}
+		t.countReceived(1, int64(len(b.enc)))
+		return batch.Tuples(), true, nil
+	}
+	t.countReceived(1, batchWireBytes(b.tuples))
+	return b.tuples, true, nil
 }
 
 // ReleaseEpoch implements EpochReleaser: it frees the queues of a finished

@@ -1,0 +1,144 @@
+// Wire protocol v3 columnar results: frame-level checks that the server
+// honors (and declines) the colbatch encoding, and that the Go client
+// decodes both response forms to identical rows.
+package server_test
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+
+	"parajoin/client"
+	"parajoin/internal/colbatch"
+	"parajoin/internal/server"
+	"parajoin/internal/wire"
+)
+
+// rawQuery speaks the wire protocol directly — one request, one response —
+// so tests can see which encoding the server actually used, beneath the
+// client's transparent decoding.
+func rawQuery(t *testing.T, addr string, req wire.Request) wire.Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" {
+		t.Fatalf("server error %s: %s", resp.ErrCode, resp.Err)
+	}
+	return resp
+}
+
+// TestServerColumnarResults checks the v3 negotiation end to end: a
+// request carrying Encoding "colbatch" gets RowsEnc (and no Rows), the
+// stream decodes to exactly the rows a plain-JSON request returns, and
+// the default Go client — which asks for colbatch on its own — hands the
+// caller those same rows.
+func TestServerColumnarResults(t *testing.T) {
+	_, _, addr := newTestServer(t, 1500, server.Config{})
+
+	plain := rawQuery(t, addr, wire.Request{
+		ID: 1, Op: wire.OpRun, Proto: wire.ProtoVersion, Rule: triRule,
+	})
+	if len(plain.Rows) == 0 || len(plain.RowsEnc) != 0 {
+		t.Fatalf("plain request: Rows=%d RowsEnc=%d bytes; want rows only",
+			len(plain.Rows), len(plain.RowsEnc))
+	}
+
+	col := rawQuery(t, addr, wire.Request{
+		ID: 1, Op: wire.OpRun, Proto: wire.ProtoVersion, Rule: triRule,
+		Encoding: wire.EncodingColbatch,
+	})
+	if len(col.RowsEnc) == 0 {
+		t.Fatal("colbatch request: server answered without RowsEnc")
+	}
+	if len(col.Rows) != 0 {
+		t.Fatalf("colbatch request: response carries both forms (%d plain rows)", len(col.Rows))
+	}
+	decoded, err := colbatch.DecodeRowsStream(col.RowsEnc)
+	if err != nil {
+		t.Fatalf("decoding RowsEnc: %v", err)
+	}
+	if !reflect.DeepEqual(canon(decoded), canon(plain.Rows)) {
+		t.Fatalf("columnar stream decodes to %d rows, plain response has %d",
+			len(decoded), len(plain.Rows))
+	}
+
+	// The stream must be smaller than the JSON rows it replaces — the
+	// point of the encoding.
+	if jsonSize := len(plain.Rows) * 3 * 8; len(col.RowsEnc) >= jsonSize {
+		t.Errorf("RowsEnc %d bytes, not below the flat 8-byte-per-value %d", len(col.RowsEnc), jsonSize)
+	}
+
+	c := dial(t, addr)
+	res, err := c.Run(context.Background(), triRule, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(res.Rows), canon(plain.Rows)) {
+		t.Fatalf("client decoded %d rows, plain response has %d", len(res.Rows), len(plain.Rows))
+	}
+}
+
+// TestServerColumnarKillSwitch: with NoColumnarResults set the server
+// answers colbatch requests with plain Rows — and clients, required to
+// accept both forms, keep working unchanged.
+func TestServerColumnarKillSwitch(t *testing.T) {
+	_, _, addr := newTestServer(t, 400, server.Config{NoColumnarResults: true})
+
+	col := rawQuery(t, addr, wire.Request{
+		ID: 1, Op: wire.OpRun, Proto: wire.ProtoVersion, Rule: twohopRule,
+		Encoding: wire.EncodingColbatch,
+	})
+	if len(col.RowsEnc) != 0 {
+		t.Fatalf("kill switch ignored: %d RowsEnc bytes", len(col.RowsEnc))
+	}
+	if len(col.Rows) == 0 {
+		t.Fatal("kill switch dropped the rows entirely")
+	}
+
+	c := dial(t, addr)
+	res, err := c.Run(context.Background(), twohopRule, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(res.Rows), canon(col.Rows)) {
+		t.Fatal("client rows diverge from raw plain rows under the kill switch")
+	}
+}
+
+// TestClientNoColumnarOptOut: a client dialed with NoColumnarResults never
+// asks for the encoding, and its rows match a default client's.
+func TestClientNoColumnarOptOut(t *testing.T) {
+	_, _, addr := newTestServer(t, 400, server.Config{})
+
+	opt, err := client.Dial(addr, client.Options{NoColumnarResults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { opt.Close() })
+
+	plain, err := opt.Run(context.Background(), twohopRule, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := dial(t, addr).Run(context.Background(), twohopRule, client.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canon(plain.Rows), canon(def.Rows)) {
+		t.Fatalf("opt-out client: %d rows, default client %d", len(plain.Rows), len(def.Rows))
+	}
+	if len(plain.Rows) == 0 {
+		t.Fatal("no rows returned")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"parajoin"
+	"parajoin/internal/colbatch"
 	"parajoin/internal/metrics"
 	"parajoin/internal/trace"
 	"parajoin/internal/wire"
@@ -71,6 +72,11 @@ type Config struct {
 	// Logf logs serving events (connects, disconnects, drain); nil uses
 	// log.Printf. Use a no-op func to silence.
 	Logf func(format string, args ...any)
+	// NoColumnarResults disables the protocol-v3 columnar result encoding:
+	// every response carries plain JSON rows even when the client asked for
+	// colbatch. Clients handle that transparently (the encoding is
+	// best-effort by contract), so this is a safe kill switch.
+	NoColumnarResults bool
 }
 
 func (c Config) withDefaults() Config {
@@ -730,7 +736,16 @@ func (ss *session) execute(req *wire.Request, q *parajoin.Query, strategy parajo
 			return nil, 0, "", err
 		}
 		resp.Columns = res.Columns
-		resp.Rows = res.Rows
+		if req.Encoding == wire.EncodingColbatch && !ss.srv.cfg.NoColumnarResults {
+			if enc, err := colbatch.AppendRowsStream(nil, res.Rows); err == nil {
+				resp.RowsEnc = enc
+			} else {
+				// Best-effort by contract: fall back to plain rows.
+				resp.Rows = res.Rows
+			}
+		} else {
+			resp.Rows = res.Rows
+		}
 		resp.Stats = wireStats(&res.Stats)
 		return resp, int64(len(res.Rows)), res.Stats.Explain, nil
 

@@ -8,9 +8,34 @@
 // demultiplex by ID. A Cancel request references another in-flight request
 // by Target; both the cancel and the canceled request get responses.
 //
-// JSON (rather than gob) keeps the protocol debuggable with nc/jq and
-// implementable from any language; the 8-bytes-per-value cost is irrelevant
-// next to query evaluation for the workloads this serves. The request
-// vocabulary, error taxonomy, and framing rationale are specified in
-// DESIGN.md's "Concurrent query service" section.
+// JSON framing keeps the protocol debuggable with nc/jq and implementable
+// from any language. Bulk row payloads are the one exception: protocol v3
+// can carry result rows as a colbatch stream (internal/colbatch) inside
+// the JSON frame, base64-coded through the Response's RowsEnc field, which
+// beats 8-bytes-per-value JSON arrays by several times on typical results.
+//
+// # Versioning
+//
+// A client advertises its version in the first request's Proto field; the
+// server echoes its own in the response. Version only gates expectations —
+// every frame is self-describing, and both sides ignore unknown JSON
+// fields, so mixed versions interoperate at the older side's feature set:
+//
+//   - v1: the base vocabulary — ping, load, loadcsv, relations, run,
+//     count, explain, cancel. (Proto 0 means v1; the field postdates it.)
+//   - v2: prepared statements — prepare parses a rule with "?" parameter
+//     placeholders into a connection-owned handle, execute runs it with
+//     positional Args, close-stmt frees it. An older server answers these
+//     ops with CodeUnsupportedFrame and a healthy connection; clients
+//     degrade to plain run.
+//   - v3: columnar results — a run/execute request may set Encoding to
+//     "colbatch", asking for rows as a colbatch stream in RowsEnc instead
+//     of the Rows JSON array. Best-effort by design: an older or opted-out
+//     server (Config.NoColumnarResults) answers with plain Rows, so a
+//     client that requests the encoding must accept both forms. Exactly
+//     one of Rows and RowsEnc is set on a row-bearing response.
+//
+// The request vocabulary, error taxonomy, and framing rationale are
+// specified in DESIGN.md's "Concurrent query service" section; the
+// columnar negotiation in its "Columnar batches" section.
 package wire

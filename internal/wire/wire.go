@@ -13,13 +13,22 @@ const MaxFrame = 64 << 20
 
 // ProtoVersion is the protocol revision this package speaks. Version 2
 // added prepared statements (OpPrepare/OpExecute/OpCloseStmt) and the
-// typed unsupported_frame error. A client advertises its version in the
-// Proto field of its first request; the server echoes its own in every
-// response carrying a non-zero request Proto, so both sides can detect a
-// peer that predates a frame before (or instead of) tripping over it. A
-// zero Proto means a version-1 peer — every version-1 frame is still
-// accepted, so old clients degrade gracefully.
-const ProtoVersion = 2
+// typed unsupported_frame error; version 3 added the opt-in columnar
+// result encoding (Request.Encoding, Response.RowsEnc). A client
+// advertises its version in the Proto field of its first request; the
+// server echoes its own in every response carrying a non-zero request
+// Proto, so both sides can detect a peer that predates a frame before (or
+// instead of) tripping over it. A zero Proto means a version-1 peer —
+// every version-1 frame is still accepted, so old clients degrade
+// gracefully.
+const ProtoVersion = 3
+
+// EncodingColbatch is the Request.Encoding value asking for rows as a
+// base64 colbatch stream in Response.RowsEnc instead of a JSON Rows array.
+// A server that predates version 3 ignores the unknown field and answers
+// with plain Rows, which the client must keep accepting — that asymmetry
+// is the whole negotiation.
+const EncodingColbatch = "colbatch"
 
 // Request operations.
 const (
@@ -117,6 +126,11 @@ type Request struct {
 	// Spill requests a spill policy ("off", "on-pressure", "always"; ""
 	// takes the server default).
 	Spill string `json:"spill,omitempty"`
+	// Encoding asks for result rows in an alternative encoding
+	// (EncodingColbatch); "" means plain JSON Rows. Best-effort: the
+	// server may answer with Rows anyway (older server, or columnar
+	// results disabled), so clients must accept both.
+	Encoding string `json:"enc,omitempty"`
 
 	// OpCancel.
 	Target uint64 `json:"target,omitempty"`
@@ -174,6 +188,11 @@ type Response struct {
 	Stats     *Stats         `json:"stats,omitempty"`
 	Relations []RelationInfo `json:"relations,omitempty"`
 	Explain   string         `json:"explain,omitempty"`
+	// RowsEnc carries the result rows as a colbatch stream (base64 via
+	// encoding/json's []byte convention) when the request asked for
+	// Encoding "colbatch" and the server obliged; Rows is empty then.
+	// Exactly one of Rows and RowsEnc is set on a row-bearing response.
+	RowsEnc []byte `json:"rows_enc,omitempty"`
 
 	// Proto is the server's protocol version, echoed when the request
 	// advertised one. Stmt and Params answer OpPrepare: the statement
