@@ -2,9 +2,11 @@ package parajoin
 
 import (
 	"context"
+	"fmt"
 
 	"parajoin/internal/cache"
 	"parajoin/internal/core"
+	"parajoin/internal/shares"
 )
 
 // WithPlanCache enables the plan cache: queries whose normalized shape
@@ -60,6 +62,17 @@ func explainWithPlanOrigin(explain string, planCached bool) string {
 		return explain
 	}
 	return "plan: cached\n" + explain
+}
+
+// explainWithShares prefixes an EXPLAIN ANALYZE rendering with the
+// HyperCube share grid the run shuffled through — the dimension an elastic
+// resize changes, so before/after explains make the re-derivation visible.
+// Non-HyperCube plans have no grid and pass through unchanged.
+func explainWithShares(explain string, hc shares.Config, workers int) string {
+	if explain == "" || hc.Cells() <= 0 || len(hc.Vars) == 0 {
+		return explain
+	}
+	return fmt.Sprintf("shares: %s over %d workers\n%s", hc, workers, explain)
 }
 
 // Prepared is a parameterized query: a rule with "?" placeholders, parsed

@@ -366,6 +366,26 @@ func (c *Client) Relations(ctx context.Context) ([]Relation, error) {
 	return out, nil
 }
 
+// ClusterInfo is the server's elastic-cluster status: membership, the
+// persisted partition map, and the catalog version. A single-node server
+// (no cluster machinery) reports one synthetic alive member and no
+// partitions.
+type ClusterInfo = wire.ClusterInfo
+
+// Cluster reports the server's cluster status. errors.Is(err,
+// ErrUnsupported) means the server predates the cluster frame (protocol
+// version < 4).
+func (c *Client) Cluster(ctx context.Context) (*ClusterInfo, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpCluster})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Cluster == nil {
+		return nil, fmt.Errorf("parajoind: server answered the cluster frame without a cluster payload")
+	}
+	return resp.Cluster, nil
+}
+
 func (c *Client) queryReq(op, rule string, opts QueryOptions) *wire.Request {
 	req := &wire.Request{
 		Op:            op,

@@ -5,6 +5,13 @@
 //
 //	hcconfig -query Q2 -workers 63
 //	hcconfig -rule 'T(x,y,z) :- A(x,y), B(y,z), C(z,x)' -card A=1000,B=1000,C=1000 -workers 15
+//
+// With -nodes-after the tool previews an elastic resize: it re-derives the
+// share grid for the new cluster size through the same code path the
+// coordinator runs on a membership change, printing both grids with their
+// expected loads and shuffle volumes.
+//
+//	hcconfig -query Q1 -workers 64 -nodes-after 48
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"parajoin/internal/cluster"
 	"parajoin/internal/core"
 	"parajoin/internal/dataset"
 	"parajoin/internal/queries"
@@ -31,6 +39,7 @@ func main() {
 		cards     = flag.String("card", "", "relation cardinalities for -rule: A=1000,B=500")
 		workers   = flag.Int("workers", 64, "cluster size N")
 		cells     = flag.Int("cells", 4096, "virtual cells for the random baseline")
+		after     = flag.Int("nodes-after", 0, "preview an elastic resize: re-derive shares for this cluster size")
 	)
 	flag.Parse()
 
@@ -82,6 +91,15 @@ func main() {
 	}
 	fmt.Printf("%-22s %d cells on %d workers: max per-worker load %.1f (%.2f× LP optimum)\n",
 		fmt.Sprintf("random (%d cells)", *cells), alloc.Config.Cells(), *workers, wl, wl/frac.TotalLoad)
+
+	if *after > 0 {
+		rz, err := cluster.ReDerive(q, catalog, *workers, *after)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nresize %d -> %d workers (the coordinator's re-derivation on a membership change):\n  %s\n",
+			*workers, *after, rz)
+	}
 }
 
 func printConfig(q *core.Query, catalog *stats.Catalog, name string, cfg shares.Config, n int) {

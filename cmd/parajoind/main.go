@@ -12,6 +12,22 @@
 // responses flush, new ones are refused, then it exits. A second signal
 // aborts the drain.
 //
+// With -data-dir the daemon is durable: every loaded relation is hash-
+// partitioned into an on-disk partition catalog, and a restart restores the
+// catalog before serving. On top of that sit the elastic-cluster roles:
+//
+//	coordinator:  parajoind -data-dir d0 -cluster-listen :4161
+//	data node:    parajoind -data-dir d1 -node-name w1 -join host:4161
+//
+// The coordinator serves queries and tracks membership; data nodes hold
+// rendezvous-assigned partition slices and stream them to each other as
+// members join and leave. Every committed membership change bumps the
+// catalog version, rebuilds the serving engine for the new worker count,
+// and re-derives HyperCube shares — results stay byte-identical across a
+// resize. A replacement data node started with its predecessor's -node-name
+// and -data-dir re-owns exactly the slice it held and skips re-receiving
+// partitions whose checksums still match.
+//
 // With -debug-addr it also serves Prometheus metrics (/metrics), the live
 // in-flight query table (/debug/queries), pprof profiles, expvar counters
 // (including the parajoin_server admission stats), and recent trace events
@@ -32,10 +48,14 @@ import (
 	"time"
 
 	"parajoin"
+	"parajoin/internal/cluster"
+	"parajoin/internal/core"
 	"parajoin/internal/debug"
 	"parajoin/internal/fault"
+	"parajoin/internal/partstore"
 	"parajoin/internal/server"
 	"parajoin/internal/trace"
+	"parajoin/internal/wire"
 )
 
 // loadFlags collects repeated -load name=file.csv arguments.
@@ -74,10 +94,24 @@ func main() {
 		retryBackoff  = flag.Duration("retry-backoff", 50*time.Millisecond, "pause before the first re-execution, doubling per retry")
 		faultPlan     = flag.String("fault-plan", "", "deterministic fault-injection plan for chaos testing, e.g. 'seed=1;drop:exchange=0,nth=3' (see internal/fault)")
 		noColumnar    = flag.Bool("no-columnar-results", false, "always answer with plain JSON rows, ignoring clients' columnar-encoding requests")
+		dataDir       = flag.String("data-dir", "", "durable partition catalog directory; loads persist here and restarts restore from it")
+		partSlots     = flag.Int("part-slots", 0, "hash partitions per persisted relation (0 = store default)")
+		clusterListen = flag.String("cluster-listen", "", "coordinator: accept cluster members on this address (requires -data-dir); data node: transfer listener bind address")
+		joinAddr      = flag.String("join", "", "run as a data node: join the coordinator at this address (requires -data-dir and -node-name)")
+		nodeName      = flag.String("node-name", "", "this data node's stable cluster identity (with -join)")
 	)
 	var loads loadFlags
 	flag.Var(&loads, "load", "preload a relation, name=file.csv (repeatable)")
 	flag.Parse()
+
+	// A data node is a durable partition holder, not a query server: it
+	// joins the coordinator, serves partition transfers, and leaves cleanly
+	// on SIGINT/SIGTERM so the coordinator rebalances at once. The
+	// query-serving flags are ignored in this mode.
+	if *joinAddr != "" {
+		runDataNode(*dataDir, *nodeName, *joinAddr, *clusterListen, *faultPlan)
+		return
+	}
 
 	// Tracing: a ring for the debug endpoint, a JSONL file for durability,
 	// either or both.
@@ -137,7 +171,30 @@ func main() {
 		opts = append(opts, parajoin.WithFaultPlan(plan))
 		log.Printf("chaos: injecting faults per plan %s", plan)
 	}
-	db := parajoin.Open(*workers, opts...)
+	var store *partstore.Store
+	if *dataDir != "" {
+		var err error
+		store, err = partstore.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("-data-dir %s: %v", *dataDir, err)
+		}
+	}
+	if *clusterListen != "" && store == nil {
+		log.Fatalf("-cluster-listen requires -data-dir (the coordinator owns the authoritative partition catalog)")
+	}
+
+	var db *parajoin.DB
+	if store != nil && len(store.Relations()) > 0 {
+		var err error
+		db, err = parajoin.OpenFromStore(store, standaloneMembers(*workers), opts...)
+		if err != nil {
+			log.Fatalf("restore from %s: %v", *dataDir, err)
+		}
+		log.Printf("restored %d relations from %s (catalog v%d)",
+			len(db.Relations()), *dataDir, store.CatalogVersion())
+	} else {
+		db = parajoin.Open(*workers, opts...)
+	}
 	defer db.Close()
 
 	for _, spec := range loads {
@@ -151,6 +208,12 @@ func main() {
 		}
 		log.Printf("loaded %s from %s: %d rows in %v",
 			name, file, db.Cardinality(name), time.Since(start).Round(time.Millisecond))
+	}
+	if store != nil && len(loads) > 0 {
+		if err := db.PersistTo(store, *partSlots); err != nil {
+			log.Fatalf("persist to %s: %v", *dataDir, err)
+		}
+		log.Printf("persisted %d relations to %s", len(db.Relations()), *dataDir)
 	}
 
 	if *debugAddr != "" {
@@ -194,7 +257,49 @@ func main() {
 		cfg.SlowQueryLog = slowLogFile
 		cfg.SlowQueryThreshold = *slowThreshold
 	}
-	srv := server.New(db, cfg)
+	var (
+		srv   *server.Server
+		coord *cluster.Coordinator
+	)
+	if store != nil {
+		cfg.OnLoad = func(name string) {
+			if err := srv.DB().PersistTo(store, *partSlots); err != nil {
+				log.Printf("persist after loading %s: %v", name, err)
+				return
+			}
+			if coord != nil {
+				if err := coord.Sync(); err != nil {
+					log.Printf("cluster: sync after loading %s: %v", name, err)
+				}
+			}
+		}
+	}
+	srv = server.New(db, cfg)
+
+	if *clusterListen != "" {
+		coord = cluster.NewCoordinator(store, cluster.CoordinatorConfig{
+			Tracer: tracer,
+			Logf:   log.Printf,
+			OnChange: func(members []string) {
+				rebuildForMembers(srv, store, opts, members)
+			},
+		})
+		defer coord.Close()
+		cerrc := make(chan error, 1)
+		go func() { cerrc <- coord.ListenAndServe(*clusterListen) }()
+		for i := 0; i < 100 && coord.Addr() == ""; i++ {
+			select {
+			case err := <-cerrc:
+				log.Fatalf("cluster listen %s: %v", *clusterListen, err)
+			case <-time.After(time.Millisecond):
+			}
+		}
+		srv.SetClusterInfo(func() *wire.ClusterInfo {
+			return clusterWire(coord.Status(), srv.DB().Workers())
+		})
+		log.Printf("cluster: coordinating on %s (catalog v%d)",
+			coord.Addr(), store.CatalogVersion())
+	}
 
 	// Graceful drain on SIGINT/SIGTERM; a second signal aborts it.
 	sigs := make(chan os.Signal, 2)
@@ -232,5 +337,103 @@ func main() {
 		log.Printf("drain: %v", err)
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "parajoind: bye")
+}
+
+// standaloneMembers synthesizes stable pseudo-member names so a partition
+// catalog can be opened at any worker count outside a live cluster:
+// rendezvous placement only needs a name set, and query results are
+// partitioning-independent.
+func standaloneMembers(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%03d", i)
+	}
+	return names
+}
+
+// rebuildForMembers swaps the serving engine for a new member set: the
+// partition catalog is re-sliced by rendezvous placement, one worker per
+// live member, while in-flight queries drain and retries re-resolve against
+// the new catalog. When an earlier query's rule is known, the HyperCube
+// share re-derivation for the new worker count is logged alongside.
+func rebuildForMembers(srv *server.Server, store *partstore.Store, opts []parajoin.Option, members []string) {
+	if len(members) == 0 {
+		log.Print("cluster: no live members; keeping the current engine")
+		return
+	}
+	before := srv.DB().Workers()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	err := srv.Rebuild(ctx, func(*parajoin.DB) (*parajoin.DB, error) {
+		return parajoin.OpenFromStore(store, members, opts...)
+	})
+	if err != nil {
+		log.Printf("cluster: rebuild for members %v: %v", members, err)
+		return
+	}
+	after := srv.DB().Workers()
+	log.Printf("cluster: serving %d workers for members %v (catalog v%d)",
+		after, members, store.CatalogVersion())
+	if rule := srv.LastRule(); rule != "" && before != after {
+		if q, err := core.ParseRule(rule, nil); err == nil {
+			if rz, err := cluster.ReDerive(q, cluster.CatalogFromStore(store), before, after); err == nil {
+				log.Printf("cluster: %s", rz)
+			}
+		}
+	}
+}
+
+// clusterWire maps a coordinator status snapshot to its wire form.
+func clusterWire(st *cluster.Status, workers int) *wire.ClusterInfo {
+	info := &wire.ClusterInfo{CatalogVersion: st.CatalogVersion, Workers: workers}
+	for _, m := range st.Members {
+		info.Members = append(info.Members, wire.ClusterMember{
+			ID: m.ID, Name: m.Name, Addr: m.Addr, State: m.State, Slots: m.Slots,
+		})
+	}
+	for _, p := range st.Partitions {
+		info.Partitions = append(info.Partitions, wire.PartitionInfo{
+			Relation: p.Relation, Slot: p.Slot, Owner: p.Owner,
+			Tuples: p.Tuples, Bytes: p.Bytes,
+		})
+	}
+	return info
+}
+
+// runDataNode is the -join mode: a durable partition holder that serves
+// transfers and hands its slice off on leave — no query engine.
+func runDataNode(dataDir, name, coordAddr, listenAddr, faultPlan string) {
+	if dataDir == "" || name == "" {
+		log.Fatalf("-join requires -data-dir and -node-name")
+	}
+	store, err := partstore.Open(dataDir)
+	if err != nil {
+		log.Fatalf("-data-dir %s: %v", dataDir, err)
+	}
+	mcfg := cluster.MemberConfig{
+		Name:            name,
+		CoordinatorAddr: coordAddr,
+		ListenAddr:      listenAddr,
+		Logf:            log.Printf,
+	}
+	if faultPlan != "" {
+		plan, err := fault.ParsePlan(faultPlan)
+		if err != nil {
+			log.Fatalf("-fault-plan: %v", err)
+		}
+		mcfg.Injector = plan.NewInjector()
+		log.Printf("chaos: injecting faults per plan %s", plan)
+	}
+	m, err := cluster.NewMember(store, mcfg)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := m.Run(ctx); err != nil {
+		log.Fatalf("data node: %v", err)
+	}
+	m.Close()
 	fmt.Fprintln(os.Stderr, "parajoind: bye")
 }

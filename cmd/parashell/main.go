@@ -13,6 +13,7 @@
 //	\load <name> <file.csv>   load a relation from CSV
 //	\gen <name> <edges> <nodes>  generate a synthetic power-law graph
 //	\rels                     list loaded relations
+//	\cluster                  show membership, partition map, catalog version
 //	\strategy [name]          show or set the strategy (auto, hc_tj, ...)
 //	\count <rule>             run a rule, printing only the answer count
 //	\explain <rule>           run a rule and print its plan with actuals
@@ -280,6 +281,9 @@ func (sh *shell) command(line string) error {
 		}
 		return nil
 
+	case `\cluster`:
+		return sh.clusterStatus()
+
 	case `\strategy`:
 		if len(fields) == 1 {
 			fmt.Fprintf(sh.out, "strategy: %s\n", sh.strategy)
@@ -438,6 +442,37 @@ func (sh *shell) command(line string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown command %s", fields[0])
+}
+
+// clusterStatus prints the elastic-cluster view. Remote mode asks the
+// server (OpCluster); the in-process engine has no membership, so local
+// mode prints the single-node equivalent — workers and loaded relations.
+func (sh *shell) clusterStatus() error {
+	if sh.remote == nil {
+		fmt.Fprintf(sh.out, "local mode: %d in-process workers, no cluster membership\n", sh.db.Workers())
+		for _, name := range sh.db.Relations() {
+			fmt.Fprintf(sh.out, "  %-16s %d rows (round-robin across workers)\n", name, sh.db.Cardinality(name))
+		}
+		return nil
+	}
+	info, err := sh.remote.Cluster(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "catalog v%d, %d workers\n", info.CatalogVersion, info.Workers)
+	if len(info.Members) > 0 {
+		fmt.Fprintf(sh.out, "%-4s %-16s %-22s %-8s %s\n", "id", "name", "addr", "state", "slots")
+		for _, m := range info.Members {
+			fmt.Fprintf(sh.out, "%-4d %-16s %-22s %-8s %d\n", m.ID, m.Name, m.Addr, m.State, m.Slots)
+		}
+	}
+	if len(info.Partitions) > 0 {
+		fmt.Fprintf(sh.out, "%-16s %-6s %-16s %10s %12s\n", "relation", "slot", "owner", "tuples", "bytes")
+		for _, p := range info.Partitions {
+			fmt.Fprintf(sh.out, "%-16s %-6d %-16s %10d %12d\n", p.Relation, p.Slot, p.Owner, p.Tuples, p.Bytes)
+		}
+	}
+	return nil
 }
 
 func (sh *shell) queryOptions() client.QueryOptions {

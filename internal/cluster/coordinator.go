@@ -1,0 +1,628 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parajoin/internal/partstore"
+	"parajoin/internal/trace"
+)
+
+// Member states as reported in Status.
+const (
+	StateJoining = "joining"
+	StateAlive   = "alive"
+	StateLeft    = "left"
+	StateDead    = "dead"
+)
+
+// errLeft marks a member that announced a clean leave instead of answering
+// a command.
+var errLeft = errors.New("cluster: member left")
+
+// CoordinatorConfig tunes a Coordinator. The zero value gets defaults from
+// NewCoordinator.
+type CoordinatorConfig struct {
+	// HeartbeatEvery is the ping interval per member (default 500ms);
+	// CallTimeout bounds every control exchange, heartbeats included
+	// (default 10s) — a member that misses one is declared dead.
+	HeartbeatEvery time.Duration
+	CallTimeout    time.Duration
+	// OnChange, when non-nil, runs after every committed membership change
+	// (catalog bumped, partitions rebalanced) with the sorted names of the
+	// live members. The serving layer hooks its engine rebuild here.
+	OnChange func(members []string)
+	// Tracer receives KindNet events for joins, leaves, deaths, handoffs,
+	// and resizes. Nil disables cluster tracing.
+	Tracer *trace.Tracer
+	// Logf logs membership events; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// slotKey identifies one partition independent of its content version.
+type slotKey struct {
+	rel  string
+	slot int
+}
+
+// memberConn is the coordinator's handle on one member: its identity, the
+// persistent control connection, and the coordinator's record of which
+// partition versions the member holds (seeded from the hello inventory,
+// updated as transfers and releases succeed). All exchanges on the
+// connection are strict request/response and serialized by mu, so the
+// heartbeat loop and a concurrent rebalance never interleave frames.
+type memberConn struct {
+	id    int
+	name  string
+	addr  string
+	conn  net.Conn
+	state string
+	// holds maps slot → CRC of the segment the member is known to hold.
+	// Guarded by the coordinator's mu.
+	holds map[slotKey]uint32
+
+	mu sync.Mutex // serializes request/response exchanges on conn
+	// left latches once any exchange reads a "leave" frame. The frame may
+	// arrive as the reply to whatever command was in flight (a release, a
+	// version broadcast), desynchronizing later replies by one — so the
+	// heartbeat checks the latch, not just its own reply.
+	left atomic.Bool
+}
+
+// call performs one command/reply exchange with the member. A "leave" frame
+// arriving in place of the reply returns errLeft; any transport error means
+// the member is unreachable.
+func (mc *memberConn) call(timeout time.Duration, m *msg) (*msg, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if err := writeMsg(mc.conn, timeout, m); err != nil {
+		return nil, err
+	}
+	reply, err := readMsg(mc.conn, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == msgLeave {
+		mc.left.Store(true)
+		return reply, errLeft
+	}
+	return reply, nil
+}
+
+// Coordinator owns the authoritative partition store (every slot of every
+// relation) and the cluster membership. Members join over TCP, are health-
+// checked by heartbeat, and hold the slice of partitions rendezvous hashing
+// assigns their name. Every membership or data change rebalances partitions
+// (donor-streamed when a previous holder is alive, pushed from the
+// authoritative store otherwise, skipped when the new owner already holds
+// the bytes), bumps the persisted catalog version, and invokes OnChange so
+// the serving engine can re-derive its HyperCube shares for the new N.
+type Coordinator struct {
+	store *partstore.Store
+	cfg   CoordinatorConfig
+
+	mu      sync.Mutex
+	ln      net.Listener
+	members map[string]*memberConn // live members, by name
+	gone    []MemberStatus         // left/dead members, for status
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+	// rebalanceMu serializes whole rebalance batches (join + death can
+	// overlap); it is always acquired before mu. assigned is the owner of
+	// record per slot as of the last committed rebalance, guarded by
+	// rebalanceMu — comparing against it distinguishes a genuine handoff
+	// from a slot that simply stayed put.
+	rebalanceMu sync.Mutex
+	assigned    map[slotKey]string
+}
+
+// NewCoordinator creates a coordinator over an authoritative store.
+func NewCoordinator(store *partstore.Store, cfg CoordinatorConfig) *Coordinator {
+	c := &Coordinator{
+		store:    store,
+		cfg:      cfg.withDefaults(),
+		members:  make(map[string]*memberConn),
+		assigned: make(map[slotKey]string),
+	}
+	catalogVersionGauge.Set(store.CatalogVersion())
+	return c
+}
+
+// Store returns the coordinator's authoritative store.
+func (c *Coordinator) Store() *partstore.Store { return c.store }
+
+// Serve accepts member connections on ln until Close.
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return errors.New("cluster: coordinator closed")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleJoin(conn)
+		}()
+	}
+}
+
+// ListenAndServe binds addr and serves member connections.
+func (c *Coordinator) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Serve(ln)
+}
+
+// Addr returns the bound listen address ("" before Serve).
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops serving and closes every member connection. Members see the
+// drop and exit their run loops.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ln := c.ln
+	conns := make([]*memberConn, 0, len(c.members))
+	for _, mc := range c.members {
+		conns = append(conns, mc)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, mc := range conns {
+		mc.conn.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// liveNames returns the sorted names of the live members. Callers hold c.mu
+// or accept a racy snapshot.
+func (c *Coordinator) liveNames() []string {
+	names := make([]string, 0, len(c.members))
+	for n := range c.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Members returns the sorted names of the live members.
+func (c *Coordinator) Members() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveNames()
+}
+
+// holdsCRC reports the CRC the coordinator believes mc holds for a slot.
+func (c *Coordinator) holdsCRC(mc *memberConn, k slotKey) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	crc, ok := mc.holds[k]
+	return crc, ok
+}
+
+// setHold records (or clears, crc == nil) a member's holding.
+func (c *Coordinator) setHold(mc *memberConn, k slotKey, crc *uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if crc == nil {
+		delete(mc.holds, k)
+	} else {
+		mc.holds[k] = *crc
+	}
+}
+
+// handleJoin runs one member's lifecycle: hello, admission, rebalance,
+// heartbeats, and eventually removal.
+func (c *Coordinator) handleJoin(conn net.Conn) {
+	hello, err := readMsg(conn, c.cfg.CallTimeout)
+	if err != nil || hello.Type != msgHello || hello.Name == "" || hello.Addr == "" {
+		writeMsg(conn, c.cfg.CallTimeout, &msg{Type: msgErr, Err: "cluster: malformed hello"})
+		conn.Close()
+		return
+	}
+
+	mc := &memberConn{
+		name: hello.Name, addr: hello.Addr, conn: conn,
+		state: StateJoining, holds: make(map[slotKey]uint32, len(hello.Inventory)),
+	}
+	for _, ref := range hello.Inventory {
+		mc.holds[slotKey{ref.Rel, ref.Slot}] = ref.CRC
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := c.members[hello.Name]; dup {
+		c.mu.Unlock()
+		writeMsg(conn, c.cfg.CallTimeout, &msg{Type: msgErr,
+			Err: fmt.Sprintf("cluster: member name %q already joined", hello.Name)})
+		conn.Close()
+		return
+	}
+	c.nextID++
+	mc.id = c.nextID
+	c.members[hello.Name] = mc
+	membersGauge.Set(int64(len(c.members)))
+	c.mu.Unlock()
+
+	if err := writeMsg(conn, c.cfg.CallTimeout, &msg{
+		Type: msgWelcome, ID: mc.id, CatalogVersion: c.store.CatalogVersion(),
+	}); err != nil {
+		c.remove(mc, StateDead, err)
+		return
+	}
+
+	c.cfg.Logf("cluster: member %q (id %d) joined from %s (%d partitions held)",
+		mc.name, mc.id, mc.addr, len(hello.Inventory))
+	c.emit("cluster-join", mc.id, 0)
+
+	if err := c.rebalance(); err != nil {
+		c.cfg.Logf("cluster: rebalance after %q joined failed: %v", mc.name, err)
+		c.remove(mc, StateDead, err)
+		return
+	}
+	c.setState(mc, StateAlive)
+
+	// Heartbeat until the member leaves, dies, or the coordinator closes.
+	ticker := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		reply, err := mc.call(c.cfg.CallTimeout, &msg{Type: msgPing})
+		if errors.Is(err, errLeft) || mc.left.Load() {
+			c.remove(mc, StateLeft, nil)
+			return
+		}
+		if err != nil || reply.Type != msgPong {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			c.remove(mc, StateDead, err)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) setState(mc *memberConn, state string) {
+	c.mu.Lock()
+	mc.state = state
+	c.mu.Unlock()
+}
+
+// remove takes a member out of the membership and rebalances its slots onto
+// the survivors (pushed from the authoritative store — the donor is gone).
+func (c *Coordinator) remove(mc *memberConn, state string, cause error) {
+	c.mu.Lock()
+	if c.members[mc.name] != mc {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.members, mc.name)
+	mc.state = state
+	c.gone = append(c.gone, MemberStatus{ID: mc.id, Name: mc.name, Addr: mc.addr, State: state})
+	membersGauge.Set(int64(len(c.members)))
+	closed := c.closed
+	c.mu.Unlock()
+	mc.conn.Close()
+	if closed {
+		return
+	}
+	if state == StateDead {
+		deathsTotal.Inc()
+		c.cfg.Logf("cluster: member %q (id %d) died: %v", mc.name, mc.id, cause)
+		c.emit("cluster-dead", mc.id, 0)
+	} else {
+		c.cfg.Logf("cluster: member %q (id %d) left", mc.name, mc.id)
+		c.emit("cluster-leave", mc.id, 0)
+	}
+	if err := c.rebalance(); err != nil {
+		c.cfg.Logf("cluster: rebalance after losing %q failed: %v", mc.name, err)
+	}
+}
+
+// Sync re-pushes partitions after the authoritative store changed (a load
+// wrote new segments): every owner whose copy is stale receives the new
+// bytes, the catalog version bumps, and OnChange fires.
+func (c *Coordinator) Sync() error {
+	return c.rebalance()
+}
+
+// rebalance brings every live member's holdings in line with the rendezvous
+// assignment for the current membership, bumps the catalog version, and
+// fires OnChange. For every partition whose owner lacks the current bytes:
+// the transfer is skipped when the owner already holds the right checksum
+// (the rejoin fast path), streamed by a live previous holder when one
+// exists (the donor path — the donor releases its copy only after the
+// checksum-verified ack), and pushed from the coordinator's authoritative
+// store otherwise (including when the donor crashes mid-handoff).
+func (c *Coordinator) rebalance() error {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+
+	c.mu.Lock()
+	live := make(map[string]*memberConn, len(c.members))
+	for n, mc := range c.members {
+		live[n] = mc
+	}
+	c.mu.Unlock()
+	names := make([]string, 0, len(live))
+	for n := range live {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return c.commit(names)
+	}
+
+	var firstErr error
+	for _, e := range c.store.Relations() {
+		meta := e.Meta()
+		for _, pe := range e.Partitions {
+			k := slotKey{e.Name, pe.Slot}
+			owner := live[Owner(names, e.Name, pe.Slot)]
+			newOwner := c.assigned[k] != owner.name
+			if crc, ok := c.holdsCRC(owner, k); ok && crc == pe.CRC {
+				// Owner already holds the current bytes. If ownership just
+				// moved here, that is the rejoin fast path: a handoff whose
+				// transfer the checksum match made unnecessary.
+				if newOwner {
+					handoffsCached.Inc()
+					c.emit("cluster-handoff", owner.id, 0)
+				}
+				c.assigned[k] = owner.name
+				continue
+			}
+			// The owner needs the bytes. Prefer a live donor that holds the
+			// current version; fall back to the authoritative store.
+			var donor *memberConn
+			for _, n := range names {
+				mc := live[n]
+				if mc == owner {
+					continue
+				}
+				if crc, ok := c.holdsCRC(mc, k); ok && crc == pe.CRC {
+					donor = mc
+					break
+				}
+			}
+			if err := c.moveSlot(meta, pe, donor, owner); err != nil {
+				c.cfg.Logf("cluster: moving %s/%d to %q: %v", e.Name, pe.Slot, owner.name, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			c.assigned[k] = owner.name
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Release slots members still hold but no longer own.
+	for _, name := range names {
+		mc := live[name]
+		c.mu.Lock()
+		var stale []slotKey
+		for k := range mc.holds {
+			if Owner(names, k.rel, k.slot) != name {
+				stale = append(stale, k)
+			}
+		}
+		c.mu.Unlock()
+		sort.Slice(stale, func(i, j int) bool {
+			if stale[i].rel != stale[j].rel {
+				return stale[i].rel < stale[j].rel
+			}
+			return stale[i].slot < stale[j].slot
+		})
+		for _, k := range stale {
+			if _, err := mc.call(c.cfg.CallTimeout, &msg{Type: msgRelease, Rel: k.rel, Slot: k.slot}); err == nil {
+				c.setHold(mc, k, nil)
+			}
+		}
+	}
+	return c.commit(names)
+}
+
+// moveSlot delivers one partition to its owner. When donor is non-nil the
+// donor streams it (and releases its copy only after the owner's checksum-
+// verified ack reached the coordinator); otherwise the coordinator pushes
+// from the authoritative store. Either way the owner ends up holding
+// verified bytes, and on any donor failure the direct path is the fallback,
+// so a donor crash mid-handoff can lose no partition.
+func (c *Coordinator) moveSlot(meta partstore.Meta, pe partstore.PartitionEntry, donor, owner *memberConn) error {
+	k := slotKey{meta.Name, pe.Slot}
+	if donor != nil {
+		reply, err := donor.call(c.cfg.CallTimeout, &msg{
+			Type: msgHandoff, Rel: meta.Name, Slot: pe.Slot, To: owner.addr,
+		})
+		if err == nil && reply.Type == msgDone {
+			c.setHold(owner, k, &pe.CRC)
+			// Ownership moved: only now may the donor drop its copy.
+			if _, err := donor.call(c.cfg.CallTimeout, &msg{Type: msgRelease, Rel: meta.Name, Slot: pe.Slot}); err == nil {
+				c.setHold(donor, k, nil)
+			}
+			handoffsDonor.Inc()
+			rebalancedBytes.Add(pe.Bytes)
+			c.emit("cluster-handoff", owner.id, pe.Bytes)
+			return nil
+		}
+		// Donor failed mid-handoff (crashed between the segment send and the
+		// release). Its copy — if any survives — is stale but harmless: the
+		// assignment function names exactly one owner per slot. Fall back to
+		// pushing from the authoritative store; PutPartition is idempotent,
+		// so a put the owner already applied is re-applied harmlessly.
+		c.cfg.Logf("cluster: donor %q failed handing %s/%d to %q (%v); pushing directly",
+			donor.name, meta.Name, pe.Slot, owner.name, err)
+	}
+
+	data, entry, err := c.store.PartitionBytes(meta.Name, pe.Slot)
+	if err != nil {
+		return err
+	}
+	reply, err := owner.call(c.cfg.CallTimeout, &msg{Type: msgPut, Meta: &meta, Entry: &entry, Data: data})
+	if err != nil {
+		return err
+	}
+	if reply.Type != msgOK {
+		return fmt.Errorf("cluster: %q refused %s/%d: %s", owner.name, meta.Name, pe.Slot, reply.Err)
+	}
+	c.setHold(owner, k, &entry.CRC)
+	handoffsDirect.Inc()
+	rebalancedBytes.Add(entry.Bytes)
+	c.emit("cluster-handoff", owner.id, entry.Bytes)
+	return nil
+}
+
+// commit ends a rebalance batch: bump and broadcast the catalog version,
+// update gauges, and fire OnChange with the final membership.
+func (c *Coordinator) commit(names []string) error {
+	v, err := c.store.BumpCatalog()
+	if err != nil {
+		return err
+	}
+	catalogVersionGauge.Set(v)
+	resizesTotal.Inc()
+	c.mu.Lock()
+	conns := make([]*memberConn, 0, len(names))
+	for _, n := range names {
+		if mc := c.members[n]; mc != nil {
+			conns = append(conns, mc)
+		}
+	}
+	c.mu.Unlock()
+	for _, mc := range conns {
+		mc.call(c.cfg.CallTimeout, &msg{Type: msgVersion, CatalogVersion: v})
+	}
+	c.cfg.Logf("cluster: catalog v%d, %d member(s): %v", v, len(names), names)
+	c.emit("cluster-resize", len(names), v)
+	if c.cfg.OnChange != nil {
+		c.cfg.OnChange(names)
+	}
+	return nil
+}
+
+// emit sends one KindNet trace event (nil-tracer safe).
+func (c *Coordinator) emit(name string, worker int, n int64) {
+	c.cfg.Tracer.Emit(trace.Event{
+		Kind: trace.KindNet, Run: -1, Worker: worker, Exchange: -1,
+		Name: name, Tuples: n,
+	})
+	c.cfg.Tracer.Flush()
+}
+
+// MemberStatus describes one member in a Status snapshot.
+type MemberStatus struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	Slots int    `json:"slots"`
+}
+
+// PartitionStatus describes one partition's placement.
+type PartitionStatus struct {
+	Relation string `json:"relation"`
+	Slot     int    `json:"slot"`
+	Owner    string `json:"owner"`
+	Tuples   int64  `json:"tuples"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// Status is a point-in-time snapshot of the cluster: catalog version, the
+// members (live first, then departed), and the partition map.
+type Status struct {
+	CatalogVersion int64             `json:"catalog_version"`
+	Members        []MemberStatus    `json:"members"`
+	Partitions     []PartitionStatus `json:"partitions"`
+}
+
+// Status snapshots the cluster for the \cluster shell command and the
+// OpCluster wire frame.
+func (c *Coordinator) Status() *Status {
+	c.mu.Lock()
+	names := c.liveNames()
+	st := &Status{CatalogVersion: c.store.CatalogVersion()}
+	for _, n := range names {
+		mc := c.members[n]
+		st.Members = append(st.Members, MemberStatus{
+			ID: mc.id, Name: mc.name, Addr: mc.addr, State: mc.state,
+		})
+	}
+	st.Members = append(st.Members, c.gone...)
+	c.mu.Unlock()
+
+	slotsOf := make(map[string]int, len(names))
+	for _, e := range c.store.Relations() {
+		for _, pe := range e.Partitions {
+			owner := ""
+			if len(names) > 0 {
+				owner = Owner(names, e.Name, pe.Slot)
+				slotsOf[owner]++
+			}
+			st.Partitions = append(st.Partitions, PartitionStatus{
+				Relation: e.Name, Slot: pe.Slot, Owner: owner,
+				Tuples: pe.Tuples, Bytes: pe.Bytes,
+			})
+		}
+	}
+	for i := range st.Members {
+		st.Members[i].Slots = slotsOf[st.Members[i].Name]
+	}
+	return st
+}

@@ -1,0 +1,27 @@
+// Package cluster implements elastic membership for parajoin: a coordinator
+// that admits and monitors workers over TCP, a rendezvous-hashed assignment
+// of persisted hash partitions (internal/partstore) to live member names,
+// and a checksum-verified handoff protocol that moves partitions when the
+// membership changes.
+//
+// The design splits responsibilities the way the paper's architecture does:
+// the coordinator owns the authoritative partition store and the planning
+// path, while members are durable data nodes that each persist their slice
+// of every relation. Ownership is a pure function of the live member names
+// (highest-random-weight hashing), so a membership change moves only ~1/N of
+// the slots, and a replacement process started under its predecessor's name
+// re-owns exactly the predecessor's slice — usually without moving a byte,
+// because the hello message carries a checksummed inventory of what the
+// rejoining store already holds.
+//
+// Handoffs preserve one invariant: a partition's previous owner releases it
+// only after the new owner has acknowledged a checksum-verified copy. If the
+// donor dies inside that window, the coordinator falls back to pushing the
+// partition from its own store; puts are idempotent, and the assignment
+// function names exactly one owner per slot, so a crash mid-handoff can
+// neither lose nor duplicate a partition.
+//
+// On every membership change the coordinator bumps the catalog version,
+// broadcasts it, and re-derives HyperCube shares for the new worker count
+// (ReDerive); the same computation backs cmd/hcconfig -nodes-after.
+package cluster

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"parajoin/internal/fault"
+)
+
+// TestCrashMidHandoff kills a donor at the exact barrier the protocol is
+// built around: after the recipient acknowledged a checksum-verified copy,
+// before the donor reported "done" — so ownership has not moved when the
+// donor dies. The coordinator must fall back to pushing from its
+// authoritative store, declare the donor dead, and converge with every
+// partition owned exactly once and bit-identical to the original.
+func TestCrashMidHandoff(t *testing.T) {
+	h := newHarness(t, 500, 8)
+
+	// m1 joins alone and receives every slot; it is the only possible donor.
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Kind: fault.KindCrash, Exchange: -1, Worker: -1, Nth: 1},
+	}}
+	inj := plan.NewInjector()
+	m1 := h.startMember("m1", "", MemberConfig{Injector: inj})
+	h.waitFor("m1")
+	h.checkPlacement(map[string]*testMember{"m1": m1})
+
+	// m2's join moves ~half the slots off m1. The first donation m1 is asked
+	// for crashes it mid-handoff; the coordinator direct-pushes that slot and
+	// every later one, then declares m1 dead and rebalances onto m2 alone.
+	m2 := h.startMember("m2", "", MemberConfig{})
+	h.waitFor("m2")
+
+	if inj.InjectedTotal() != 1 {
+		t.Fatalf("injector fired %d times, want 1 (%s)", inj.InjectedTotal(), inj)
+	}
+	if !m1.m.Crashed() {
+		t.Fatal("donor does not report the injected crash")
+	}
+	if err := <-m1.done; !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("donor run ended with %v, want an injected fault", err)
+	}
+
+	// No partition lost: the survivor holds every slot, checksum-verified and
+	// bit-identical to the authoritative store.
+	h.checkPlacement(map[string]*testMember{"m2": m2})
+	want, err := h.store.LoadRelation("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.store.LoadRelation("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("survivor's relation differs from the authoritative store")
+	}
+
+	// No partition duplicated: ownership is unique — every slot names m2 and
+	// the slot list covers 0..slots-1 exactly once.
+	st := h.coord.Status()
+	seen := make(map[int]bool)
+	for _, p := range st.Partitions {
+		if p.Owner != "m2" {
+			t.Fatalf("partition %s/%d owned by %q, want m2", p.Relation, p.Slot, p.Owner)
+		}
+		if seen[p.Slot] {
+			t.Fatalf("slot %d appears twice in the partition map", p.Slot)
+		}
+		seen[p.Slot] = true
+	}
+	if len(seen) != h.store.Entry("E").Slots {
+		t.Fatalf("partition map covers %d slots, want %d", len(seen), h.store.Entry("E").Slots)
+	}
+
+	deadSeen := false
+	for _, m := range st.Members {
+		if m.Name == "m1" && m.State == StateDead {
+			deadSeen = true
+		}
+	}
+	if !deadSeen {
+		t.Fatalf("status does not report the crashed donor as dead: %+v", st.Members)
+	}
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import "parajoin/internal/metrics"
+
+// The parajoin_cluster_* metric family. Handoffs are labeled by how the
+// partition reached its new owner: "donor" (streamed by the previous owner
+// and released only after the checksum-verified ack), "direct" (pushed from
+// the coordinator's authoritative store because the donor was gone or
+// failed mid-handoff), or "cached" (the new owner already held the
+// partition with the right checksum — the rejoin fast path — so no bytes
+// moved at all).
+var (
+	membersGauge = metrics.Default.Gauge("parajoin_cluster_members",
+		"Live members of the elastic cluster.")
+	catalogVersionGauge = metrics.Default.Gauge("parajoin_cluster_catalog_version",
+		"Current partition-catalog version (bumped on every membership or data change).")
+	resizesTotal = metrics.Default.Counter("parajoin_cluster_resizes_total",
+		"Membership changes that triggered a rebalance and catalog bump.")
+	deathsTotal = metrics.Default.Counter("parajoin_cluster_member_deaths_total",
+		"Members declared dead after missed heartbeats or a broken connection.")
+	rebalancedBytes = metrics.Default.Counter("parajoin_cluster_rebalanced_bytes_total",
+		"Segment bytes moved between stores by partition handoffs.")
+
+	handoffsDonor = metrics.Default.Counter("parajoin_cluster_handoffs_total",
+		"Partition handoffs, by transfer path.", metrics.Label{Name: "path", Value: "donor"})
+	handoffsDirect = metrics.Default.Counter("parajoin_cluster_handoffs_total",
+		"Partition handoffs, by transfer path.", metrics.Label{Name: "path", Value: "direct"})
+	handoffsCached = metrics.Default.Counter("parajoin_cluster_handoffs_total",
+		"Partition handoffs, by transfer path.", metrics.Label{Name: "path", Value: "cached"})
+)

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"parajoin/internal/partstore"
+	"parajoin/internal/wire"
+)
+
+// The cluster control protocol is length-prefixed JSON frames (the same
+// framing the query wire protocol uses) carrying msg values. Two kinds of
+// connections speak it:
+//
+//   - The membership connection: a member dials the coordinator, sends
+//     "hello", receives "welcome", and from then on the coordinator drives
+//     a strict request/response exchange ("ping", "put", "handoff",
+//     "release", "version") with the member answering each command. The
+//     one member-initiated frame is "leave", sent in place of a reply when
+//     the member shuts down cleanly.
+//
+//   - The transfer connection: a donor member (or the coordinator) dials a
+//     member's cluster listener and sends a single "put" carrying one
+//     partition's segment bytes; the recipient verifies the checksum,
+//     persists it, answers "ok", and the connection closes.
+const (
+	msgHello   = "hello"   // member → coordinator: join (Name, Addr, Inventory)
+	msgWelcome = "welcome" // coordinator → member: accepted (ID, CatalogVersion)
+	msgPing    = "ping"    // coordinator → member: heartbeat
+	msgPong    = "pong"    // member → coordinator: heartbeat reply
+	msgPut     = "put"     // push one partition (Meta, Entry, Data)
+	msgHandoff = "handoff" // coordinator → donor: stream Rel/Slot to To
+	msgDone    = "done"    // donor → coordinator: recipient acked the put
+	msgRelease = "release" // coordinator → donor: drop Rel/Slot (ownership moved)
+	msgVersion = "version" // coordinator → member: adopt CatalogVersion
+	msgLeave   = "leave"   // member → coordinator: clean shutdown
+	msgOK      = "ok"      // generic success reply
+	msgErr     = "err"     // generic failure reply (Err)
+)
+
+// PartRef identifies one partition replica by content: a member's hello
+// carries its full inventory so the coordinator can skip re-transferring
+// partitions the member already holds with the right checksum (the rejoin
+// fast path).
+type PartRef struct {
+	Rel  string `json:"rel"`
+	Slot int    `json:"slot"`
+	CRC  uint32 `json:"crc32"`
+}
+
+// msg is one control-protocol frame. Fields are a union over the message
+// types; Type decides which are meaningful.
+type msg struct {
+	Type string `json:"type"`
+
+	// hello / welcome.
+	Name      string    `json:"name,omitempty"`
+	Addr      string    `json:"addr,omitempty"`
+	Inventory []PartRef `json:"inventory,omitempty"`
+	ID        int       `json:"id,omitempty"`
+
+	// version (and welcome): the catalog version to adopt.
+	CatalogVersion int64 `json:"catalog_version,omitempty"`
+
+	// put.
+	Meta  *partstore.Meta           `json:"meta,omitempty"`
+	Entry *partstore.PartitionEntry `json:"entry,omitempty"`
+	Data  []byte                    `json:"data,omitempty"`
+
+	// handoff / release.
+	Rel  string `json:"rel,omitempty"`
+	Slot int    `json:"slot,omitempty"`
+	To   string `json:"to,omitempty"`
+
+	// err.
+	Err string `json:"err,omitempty"`
+}
+
+// writeMsg / readMsg wrap the wire framing with the protocol's deadline
+// discipline: every control exchange is bounded, so a hung peer surfaces as
+// an error instead of wedging the coordinator.
+func writeMsg(conn net.Conn, timeout time.Duration, m *msg) error {
+	if timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	return wire.WriteFrame(conn, m)
+}
+
+func readMsg(conn net.Conn, timeout time.Duration) (*msg, error) {
+	if timeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		defer conn.SetReadDeadline(time.Time{})
+	}
+	m := new(msg)
+	if err := wire.ReadFrame(conn, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// pushPartition dials a member's cluster listener and performs one transfer
+// exchange: put → ok. Used by donors during handoff and by the coordinator
+// when it pushes from its own authoritative store.
+func pushPartition(addr string, timeout time.Duration, meta partstore.Meta, entry partstore.PartitionEntry, data []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: dialing %s for transfer: %w", addr, err)
+	}
+	defer conn.Close()
+	put := &msg{Type: msgPut, Meta: &meta, Entry: &entry, Data: data}
+	if err := writeMsg(conn, timeout, put); err != nil {
+		return fmt.Errorf("cluster: sending %s/%d to %s: %w", meta.Name, entry.Slot, addr, err)
+	}
+	reply, err := readMsg(conn, timeout)
+	if err != nil {
+		return fmt.Errorf("cluster: waiting for %s to ack %s/%d: %w", addr, meta.Name, entry.Slot, err)
+	}
+	if reply.Type != msgOK {
+		return fmt.Errorf("cluster: %s refused %s/%d: %s", addr, meta.Name, entry.Slot, reply.Err)
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package partstore is the durable partition catalog behind elastic
+// clusters: each relation is hash-sliced into a fixed number of slots
+// (independent of the cluster size), every slot is one PJSPILL2 segment
+// file — the same checksummed, dictionary-encoded column-major format the
+// spill subsystem writes — and a JSON manifest maps relation → slot → file
+// with a whole-file CRC32 per partition, the relation's planning statistics
+// (cardinality, per-column distinct counts), the engine's string
+// dictionary, and the cluster's catalog version.
+//
+// The coordinator's store is authoritative and holds every slot; a member's
+// store holds the slice the coordinator assigned it, so a restarted or
+// replaced member reloads its partitions from disk instead of re-receiving
+// them over the network (the rejoin fast path keys on slot checksums).
+// Manifest updates are atomic (write-temp + rename) and every read path
+// verifies checksums before trusting segment bytes.
+//
+// See DESIGN.md, "Elastic clusters".
+package partstore

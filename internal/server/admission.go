@@ -136,6 +136,33 @@ func (g *gate) admit() func() {
 	}
 }
 
+// quiesce claims every concurrency slot, waiting for in-flight queries to
+// release theirs, and returns a resume func that gives the slots back. While
+// quiesced nothing executes, but unlike drain the gate keeps accepting:
+// arrivals queue (bounded by MaxQueue/MaxQueueWait as usual) and run when
+// resume is called. This is the pause a database swap needs — Rebuild uses
+// it to replace the served DB between queries, never under one.
+func (g *gate) quiesce(ctx context.Context) (resume func(), err error) {
+	n := cap(g.slots)
+	taken := 0
+	giveBack := func() {
+		for i := 0; i < taken; i++ {
+			g.slots <- struct{}{}
+		}
+	}
+	for taken < n {
+		select {
+		case <-g.slots:
+			taken++
+		case <-ctx.Done():
+			giveBack()
+			return nil, context.Cause(ctx)
+		}
+	}
+	var once sync.Once
+	return func() { once.Do(giveBack) }, nil
+}
+
 // drain stops admitting new queries (they fail with ErrDraining) and waits
 // for every queued and running query to finish, or for ctx to expire.
 // Queries already in the queue when drain begins keep their place and are

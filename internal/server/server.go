@@ -69,6 +69,12 @@ type Config struct {
 	// SlowQueryThreshold is the latency at which a query is considered
 	// slow; 0 with a non-nil SlowQueryLog logs every query.
 	SlowQueryThreshold time.Duration
+	// OnLoad, when non-nil, runs after every successful load op with the
+	// relation's name. The elastic daemon hooks persistence here: the fresh
+	// relation is hash-partitioned into the partition catalog and the
+	// cluster re-synced, so a later restart (or a joining member) can pick
+	// the data up from disk.
+	OnLoad func(name string)
 	// Logf logs serving events (connects, disconnects, drain); nil uses
 	// log.Printf. Use a no-op func to silence.
 	Logf func(format string, args ...any)
@@ -110,14 +116,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server hosts one shared DB behind the admission controller.
+// Server hosts one shared DB behind the admission controller. The DB can be
+// swapped while serving (Rebuild) — the elastic coordinator does so on every
+// membership change, re-deriving plans for the new worker count.
 type Server struct {
-	db  *parajoin.DB
-	cfg Config
+	dbMu sync.RWMutex
+	db   *parajoin.DB
+	cfg  Config
 
 	gate     *gate
 	budget   int64 // per-query MaxLocalTuples (0 = inherit DB)
 	querySeq atomic.Int64
+
+	rebuildMu sync.Mutex   // serializes Rebuild calls
+	lastRule  atomic.Value // last successfully served rule text (string)
+	clusterFn atomic.Value // func() *wire.ClusterInfo answering OpCluster
 
 	baseCtx  context.Context
 	stop     context.CancelFunc
@@ -275,6 +288,78 @@ func (s *Server) Stats() Stats {
 	return Stats{Gate: s.gate.stats(), Sessions: n, Loads: s.loads.Load()}
 }
 
+// DB returns the database currently being served. The pointer identifies a
+// catalog generation: Rebuild replaces it wholesale, so callers comparing
+// pointers can tell whether a swap happened between two reads.
+func (s *Server) DB() *parajoin.DB {
+	s.dbMu.RLock()
+	defer s.dbMu.RUnlock()
+	return s.db
+}
+
+// LastRule returns the rule text of the most recently completed ad-hoc
+// query ("" before any). The elastic daemon re-derives HyperCube shares for
+// it after a resize, logging how the share grid changed with the worker
+// count.
+func (s *Server) LastRule() string {
+	r, _ := s.lastRule.Load().(string)
+	return r
+}
+
+// SetClusterInfo installs the provider answering OpCluster — the elastic
+// coordinator's live membership and partition map. Without one the server
+// reports a static single-node view.
+func (s *Server) SetClusterInfo(fn func() *wire.ClusterInfo) {
+	s.clusterFn.Store(fn)
+}
+
+func (s *Server) clusterInfo() *wire.ClusterInfo {
+	if fn, _ := s.clusterFn.Load().(func() *wire.ClusterInfo); fn != nil {
+		if info := fn(); info != nil {
+			if info.Workers == 0 {
+				info.Workers = s.DB().Workers()
+			}
+			return info
+		}
+	}
+	return &wire.ClusterInfo{
+		Workers: s.DB().Workers(),
+		Members: []wire.ClusterMember{{Name: "local", State: "alive"}},
+	}
+}
+
+// Rebuild swaps the served database without dropping the server: it claims
+// every concurrency slot (waiting out in-flight queries; ctx bounds the
+// wait), calls swap with the current DB, installs the result, resumes
+// admission, and closes the old DB. Queries arriving meanwhile queue behind
+// the pause under the normal admission bounds. A swap that returns the old
+// DB (or an error) changes nothing. In-flight retries notice the swap and
+// re-resolve their rules against the new catalog; prepared statements stay
+// bound to the old generation and fail typed with CodeClosed.
+func (s *Server) Rebuild(ctx context.Context, swap func(old *parajoin.DB) (*parajoin.DB, error)) error {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	resume, err := s.gate.quiesce(ctx)
+	if err != nil {
+		return fmt.Errorf("server: rebuild quiesce: %w", err)
+	}
+	defer resume()
+	old := s.DB()
+	fresh, err := swap(old)
+	if err != nil {
+		return err
+	}
+	if fresh == nil || fresh == old {
+		return nil
+	}
+	s.dbMu.Lock()
+	s.db = fresh
+	s.dbMu.Unlock()
+	old.Close()
+	s.cfg.Logf("rebuilt: now serving %d workers", fresh.Workers())
+	return nil
+}
+
 // ---------------------------------------------------------------- session
 
 // maxSessionStmts caps prepared statements per connection, bounding the
@@ -400,31 +485,41 @@ func (ss *session) dispatch(req *wire.Request) {
 		ss.reply(&wire.Response{ID: req.ID})
 
 	case wire.OpLoad:
-		if err := srv.db.Load(req.Name, req.Columns, req.Rows); err != nil {
+		if err := srv.DB().Load(req.Name, req.Columns, req.Rows); err != nil {
 			ss.fail(req.ID, wire.CodeBadRequest, err)
 			return
 		}
 		srv.loads.Add(1)
+		if srv.cfg.OnLoad != nil {
+			srv.cfg.OnLoad(req.Name)
+		}
 		ss.reply(&wire.Response{ID: req.ID})
 
 	case wire.OpLoadCSV:
-		if err := srv.db.LoadCSVReader(req.Name, strings.NewReader(req.CSV)); err != nil {
+		if err := srv.DB().LoadCSVReader(req.Name, strings.NewReader(req.CSV)); err != nil {
 			ss.fail(req.ID, wire.CodeBadRequest, err)
 			return
 		}
 		srv.loads.Add(1)
+		if srv.cfg.OnLoad != nil {
+			srv.cfg.OnLoad(req.Name)
+		}
 		ss.reply(&wire.Response{ID: req.ID})
 
 	case wire.OpRelations:
+		db := srv.DB()
 		var infos []wire.RelationInfo
-		for _, name := range srv.db.Relations() {
+		for _, name := range db.Relations() {
 			infos = append(infos, wire.RelationInfo{
 				Name:    name,
-				Columns: srv.db.Columns(name),
-				Rows:    srv.db.Cardinality(name),
+				Columns: db.Columns(name),
+				Rows:    db.Cardinality(name),
 			})
 		}
 		ss.reply(&wire.Response{ID: req.ID, Relations: infos})
+
+	case wire.OpCluster:
+		ss.reply(&wire.Response{ID: req.ID, Cluster: srv.clusterInfo()})
 
 	case wire.OpCancel:
 		ss.mu.Lock()
@@ -437,7 +532,7 @@ func (ss *session) dispatch(req *wire.Request) {
 		ss.reply(&wire.Response{ID: req.ID})
 
 	case wire.OpPrepare:
-		p, err := srv.db.Prepare(req.Rule)
+		p, err := srv.DB().Prepare(req.Rule)
 		if err != nil {
 			ss.fail(req.ID, wire.CodeBadRequest, err)
 			return
@@ -607,6 +702,11 @@ func (ss *session) query(req *wire.Request) {
 		ss.fail(req.ID, wire.CodeBadRequest, err)
 		return
 	}
+	// qDB records the catalog generation the query was resolved against; a
+	// Rebuild swaps the served DB, and each attempt re-resolves against the
+	// new generation so retries keep working across an elastic resize.
+	// Prepared statements are pinned to their generation and cannot follow.
+	qDB := srv.DB()
 	var q *parajoin.Query
 	if req.Op == wire.OpExecute {
 		if prep == nil {
@@ -617,7 +717,7 @@ func (ss *session) query(req *wire.Request) {
 		}
 		q, err = prep.Bind(req.Args...)
 	} else {
-		q, err = srv.db.Query(req.Rule)
+		q, err = qDB.Query(req.Rule)
 	}
 	if err != nil {
 		outcome(wire.CodeBadRequest, 0, nil, "", err)
@@ -659,6 +759,21 @@ func (ss *session) query(req *wire.Request) {
 		}
 		waited += w
 		queryMetrics.queueWait.ObserveDuration(w)
+		// An elastic resize may have swapped the DB while this query sat in
+		// the queue (or between retry attempts): re-resolve the rule against
+		// the new catalog so the attempt runs on live workers. The result
+		// stays byte-identical — same data, re-partitioned.
+		if db := srv.DB(); db != qDB && req.Op != wire.OpExecute {
+			q2, qerr := db.Query(req.Rule)
+			if qerr != nil {
+				release()
+				code := errCode(qerr)
+				outcome(code, 0, nil, "", qerr)
+				ss.fail(req.ID, code, qerr)
+				return
+			}
+			q, qDB = q2, db
+		}
 		prog.SetStage("planning")
 		execStart := time.Now()
 		resp, rows, explain, err = ss.execute(req, q, strategy, opts, runCtx)
@@ -672,7 +787,13 @@ func (ss *session) query(req *wire.Request) {
 			break
 		}
 		release()
-		if !parajoin.Retryable(err) {
+		// ErrClosed from an attempt whose DB generation has since been
+		// swapped is the resize race, not a shut-down server: the next
+		// attempt re-resolves against the live DB, so treat it as retryable.
+		// Prepared statements cannot re-resolve and fail typed instead.
+		swapRace := errors.Is(err, parajoin.ErrClosed) &&
+			req.Op != wire.OpExecute && srv.DB() != qDB
+		if !parajoin.Retryable(err) && !swapRace {
 			code := errCode(err)
 			outcome(code, 0, nil, "", err)
 			ss.fail(req.ID, code, err)
@@ -718,6 +839,9 @@ func (ss *session) query(req *wire.Request) {
 		resp.Stats.QueueWaitNanos = int64(waited)
 		resp.Stats.Attempts = attempts
 		resp.Stats.RetryCause = retryCause
+	}
+	if req.Op != wire.OpExecute && req.Rule != "" {
+		srv.lastRule.Store(req.Rule)
 	}
 	outcome("ok", rows, resp.Stats, explain, nil)
 	ss.reply(resp)

@@ -103,8 +103,44 @@ func Collect(r *rel.Relation) *RelationStats {
 	return s
 }
 
+// Precomputed builds RelationStats from persisted numbers, without the
+// relation data — the form a partition catalog's manifest can reconstruct.
+// Cardinality and per-column distinct counts are exact; Prefix falls back
+// to an independence estimate, so only consumers that never ask for prefix
+// counts (the share optimizer) should plan against precomputed statistics.
+func Precomputed(name string, cardinality int, columnDistinct []int) *RelationStats {
+	return &RelationStats{
+		Name:           name,
+		Cardinality:    cardinality,
+		ColumnDistinct: append([]int(nil), columnDistinct...),
+	}
+}
+
 // Prefix returns V(R, cols): the number of distinct projections onto cols.
+// Precomputed statistics carry no data, so for them the count is estimated
+// as min(|R|, Π V(R, col)) — exact for single columns, an independence
+// upper bound beyond that.
 func (s *RelationStats) Prefix(cols []int) int {
+	if s.rel == nil {
+		est := 1
+		for _, c := range cols {
+			d := 1
+			if c >= 0 && c < len(s.ColumnDistinct) {
+				d = s.ColumnDistinct[c]
+			}
+			if d <= 0 {
+				d = 1
+			}
+			if est > s.Cardinality/d { // est*d would overflow past |R| anyway
+				return s.Cardinality
+			}
+			est *= d
+		}
+		if est > s.Cardinality {
+			return s.Cardinality
+		}
+		return est
+	}
 	return DistinctTuples(s.rel, cols)
 }
 
@@ -127,6 +163,12 @@ func NewCatalog(relations ...*rel.Relation) *Catalog {
 // under the same name.
 func (c *Catalog) Add(r *rel.Relation) {
 	c.byName[r.Name] = Collect(r)
+}
+
+// AddStats registers already-computed statistics (see Precomputed),
+// replacing any previous entry under the same name.
+func (c *Catalog) AddStats(s *RelationStats) {
+	c.byName[s.Name] = s
 }
 
 // Get returns the statistics for the named relation, or nil when unknown.

@@ -14,14 +14,15 @@ const MaxFrame = 64 << 20
 // ProtoVersion is the protocol revision this package speaks. Version 2
 // added prepared statements (OpPrepare/OpExecute/OpCloseStmt) and the
 // typed unsupported_frame error; version 3 added the opt-in columnar
-// result encoding (Request.Encoding, Response.RowsEnc). A client
+// result encoding (Request.Encoding, Response.RowsEnc); version 4 added
+// the cluster status frame (OpCluster, Response.Cluster). A client
 // advertises its version in the Proto field of its first request; the
 // server echoes its own in every response carrying a non-zero request
 // Proto, so both sides can detect a peer that predates a frame before (or
 // instead of) tripping over it. A zero Proto means a version-1 peer —
 // every version-1 frame is still accepted, so old clients degrade
 // gracefully.
-const ProtoVersion = 3
+const ProtoVersion = 4
 
 // EncodingColbatch is the Request.Encoding value asking for rows as a
 // base64 colbatch stream in Response.RowsEnc instead of a JSON Rows array.
@@ -62,6 +63,10 @@ const (
 	// is not an error (close is idempotent); statements are also freed when
 	// the connection ends.
 	OpCloseStmt = "close-stmt"
+	// OpCluster reports the elastic-cluster status: membership, the
+	// persisted partition map, and the catalog version. A server without
+	// cluster machinery answers with a static single-node view.
+	OpCluster = "cluster"
 )
 
 // Error codes a Response may carry. Clients map these back to typed errors.
@@ -176,6 +181,36 @@ type RelationInfo struct {
 	Rows    int      `json:"rows"`
 }
 
+// ClusterMember describes one member of the elastic cluster.
+type ClusterMember struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Addr  string `json:"addr,omitempty"`
+	State string `json:"state"` // joining, alive, left, dead
+	// Slots is how many partitions the member's name currently owns.
+	Slots int `json:"slots"`
+}
+
+// PartitionInfo describes one persisted partition's placement.
+type PartitionInfo struct {
+	Relation string `json:"relation"`
+	Slot     int    `json:"slot"`
+	Owner    string `json:"owner,omitempty"`
+	Tuples   int64  `json:"tuples"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// ClusterInfo answers OpCluster: the membership, the partition map, and the
+// catalog version as of the last committed rebalance. Workers is the engine
+// worker count queries currently run with (which tracks the live member
+// count on an elastic coordinator).
+type ClusterInfo struct {
+	CatalogVersion int64           `json:"catalog_version"`
+	Workers        int             `json:"workers"`
+	Members        []ClusterMember `json:"members,omitempty"`
+	Partitions     []PartitionInfo `json:"partitions,omitempty"`
+}
+
 // Response is a server→client frame.
 type Response struct {
 	ID      uint64 `json:"id"`
@@ -188,6 +223,8 @@ type Response struct {
 	Stats     *Stats         `json:"stats,omitempty"`
 	Relations []RelationInfo `json:"relations,omitempty"`
 	Explain   string         `json:"explain,omitempty"`
+	// Cluster answers OpCluster (protocol 4).
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 	// RowsEnc carries the result rows as a colbatch stream (base64 via
 	// encoding/json's []byte convention) when the request asked for
 	// Encoding "colbatch" and the server obliged; Rows is empty then.

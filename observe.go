@@ -65,7 +65,9 @@ func (q *Query) ExplainAnalyze(ctx context.Context, s Strategy) (string, error) 
 	if err != nil {
 		return "", err
 	}
-	return explainWithPlanOrigin(engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached), nil
+	return explainWithPlanOrigin(
+		explainWithShares(engine.ExplainAnalyze(res.Rounds, col.Events(), report), res.HC, q.db.workers),
+		planCached), nil
 }
 
 // explainOpts resolves a run's engine options, attaching an event collector

@@ -578,7 +578,8 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 	result.Stats.fromReport(report)
 	if col != nil {
 		result.Stats.Explain = explainWithPlanOrigin(
-			engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached)
+			explainWithShares(engine.ExplainAnalyze(res.Rounds, col.Events(), report), res.HC, db.workers),
+			planCached)
 	}
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
@@ -664,7 +665,8 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 	st.fromReport(report)
 	if col != nil {
 		st.Explain = explainWithPlanOrigin(
-			engine.ExplainAnalyze(res.Rounds, col.Events(), report), planCached)
+			explainWithShares(engine.ExplainAnalyze(res.Rounds, col.Events(), report), res.HC, db.workers),
+			planCached)
 	}
 	if useRC && db.cluster.DataEpoch() == epoch {
 		db.resultCache.Put(rkey, epoch, &cache.Result{Strategy: string(s), Count: total})
