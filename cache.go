@@ -3,9 +3,11 @@ package parajoin
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"parajoin/internal/cache"
 	"parajoin/internal/core"
+	"parajoin/internal/engine"
 	"parajoin/internal/shares"
 )
 
@@ -73,6 +75,18 @@ func explainWithShares(explain string, hc shares.Config, workers int) string {
 		return explain
 	}
 	return fmt.Sprintf("shares: %s over %d workers\n%s", hc, workers, explain)
+}
+
+// explainWithExecution prefixes an EXPLAIN ANALYZE rendering with where the
+// operators actually ran when it was not the coordinator: fragment dispatch
+// pushed them to data nodes, and the explain should say so (and name them)
+// before detailing per-operator work that happened elsewhere.
+func explainWithExecution(explain string, report *engine.Report) string {
+	if explain == "" || report == nil || report.RemoteFragments == 0 {
+		return explain
+	}
+	return fmt.Sprintf("execution: distributed over %d data node(s): %s\n%s",
+		report.RemoteFragments, strings.Join(report.RemoteMembers, ", "), explain)
 }
 
 // Prepared is a parameterized query: a rule with "?" placeholders, parsed

@@ -164,6 +164,11 @@ type Stats struct {
 	// without executing at all.
 	PlanCached   bool
 	ResultCached bool
+	// RemoteFragments is the number of operator fragments the server pushed
+	// to remote data nodes (0 when its coordinator executed the query
+	// locally); RemoteMembers names those nodes in worker order.
+	RemoteFragments int
+	RemoteMembers   []string
 }
 
 // Result is a query's rows plus its stats.
@@ -435,6 +440,8 @@ func statsOf(w *wire.Stats) Stats {
 		RetryCause:         w.RetryCause,
 		PlanCached:         w.PlanCached,
 		ResultCached:       w.ResultCached,
+		RemoteFragments:    w.RemoteFragments,
+		RemoteMembers:      w.RemoteMembers,
 	}
 }
 

@@ -119,6 +119,7 @@ var catalog = []experiment{
 		st, err := s.SemijoinStudy("Q3", "Q7")
 		return renderErr(err, func() { st.Render(os.Stdout) })
 	}},
+	{"distscale", "Q1 six configurations pushed to 1/2/3 data nodes vs coordinator-local", runDistScale},
 	{"skewstudy", "heavy-hitter-aware shuffle vs plain (footnote 2)", func(s *experiments.Suite) error {
 		st, err := s.SkewStudy("Q1", "Q5")
 		return renderErr(err, func() { st.Render(os.Stdout) })

@@ -44,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -97,6 +98,7 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable partition catalog directory; loads persist here and restarts restore from it")
 		partSlots     = flag.Int("part-slots", 0, "hash partitions per persisted relation (0 = store default)")
 		clusterListen = flag.String("cluster-listen", "", "coordinator: accept cluster members on this address (requires -data-dir); data node: transfer listener bind address")
+		distributed   = flag.Bool("distributed", true, "coordinator: push operator fragments to data nodes; false keeps execution coordinator-local (the A/B baseline)")
 		joinAddr      = flag.String("join", "", "run as a data node: join the coordinator at this address (requires -data-dir and -node-name)")
 		nodeName      = flag.String("node-name", "", "this data node's stable cluster identity (with -join)")
 	)
@@ -105,11 +107,12 @@ func main() {
 	flag.Parse()
 
 	// A data node is a durable partition holder, not a query server: it
-	// joins the coordinator, serves partition transfers, and leaves cleanly
-	// on SIGINT/SIGTERM so the coordinator rebalances at once. The
-	// query-serving flags are ignored in this mode.
+	// joins the coordinator, serves partition transfers and operator
+	// fragments, and leaves cleanly on SIGINT/SIGTERM so the coordinator
+	// rebalances at once. -debug-addr works here too (fragment metrics live
+	// on the data node); the query-serving flags are ignored in this mode.
 	if *joinAddr != "" {
-		runDataNode(*dataDir, *nodeName, *joinAddr, *clusterListen, *faultPlan)
+		runDataNode(*dataDir, *nodeName, *joinAddr, *clusterListen, *debugAddr, *faultPlan)
 		return
 	}
 
@@ -260,6 +263,7 @@ func main() {
 	var (
 		srv   *server.Server
 		coord *cluster.Coordinator
+		disp  dispatcherSlot
 	)
 	if store != nil {
 		cfg.OnLoad = func(name string) {
@@ -281,7 +285,7 @@ func main() {
 			Tracer: tracer,
 			Logf:   log.Printf,
 			OnChange: func(members []string) {
-				rebuildForMembers(srv, store, opts, members)
+				rebuildForMembers(srv, store, coord, &disp, opts, members, *distributed, tracer)
 			},
 		})
 		defer coord.Close()
@@ -357,24 +361,50 @@ func standaloneMembers(n int) []string {
 // live member, while in-flight queries drain and retries re-resolve against
 // the new catalog. When an earlier query's rule is known, the HyperCube
 // share re-derivation for the new worker count is logged alongside.
-func rebuildForMembers(srv *server.Server, store *partstore.Store, opts []parajoin.Option, members []string) {
+func rebuildForMembers(srv *server.Server, store *partstore.Store, coord *cluster.Coordinator,
+	disp *dispatcherSlot, opts []parajoin.Option, members []string, distributed bool, tracer *trace.Tracer) {
 	if len(members) == 0 {
 		log.Print("cluster: no live members; keeping the current engine")
 		return
 	}
+	// The committed change supersedes the serving generation: abort its
+	// in-flight dispatches NOW, before Rebuild quiesces. A fragment gang
+	// that lost a member can never finish, and quiesce would otherwise wait
+	// out its whole deadline; aborted queries fail retryable, release their
+	// slots, and re-dispatch against the engine this rebuild installs.
+	disp.close()
 	before := srv.DB().Workers()
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	err := srv.Rebuild(ctx, func(*parajoin.DB) (*parajoin.DB, error) {
-		return parajoin.OpenFromStore(store, members, opts...)
+		ndb, err := parajoin.OpenFromStore(store, members, opts...)
+		if err != nil {
+			return nil, err
+		}
+		// Install the generation's fragment dispatcher before the swap makes
+		// the engine visible, so no query ever runs on a half-wired DB. A
+		// nil dispatcher (kill switch, or a member vanished between commit
+		// and here) keeps execution coordinator-local — the always-correct
+		// fallback.
+		if distributed {
+			if d := dispatcherFor(store, coord, members, tracer); d != nil {
+				ndb.SetRemoteRunner(d)
+				disp.set(d)
+			}
+		}
+		return ndb, nil
 	})
 	if err != nil {
 		log.Printf("cluster: rebuild for members %v: %v", members, err)
 		return
 	}
 	after := srv.DB().Workers()
-	log.Printf("cluster: serving %d workers for members %v (catalog v%d)",
-		after, members, store.CatalogVersion())
+	mode := "coordinator-local"
+	if distributed {
+		mode = "distributed"
+	}
+	log.Printf("cluster: serving %d workers for members %v (catalog v%d, %s execution)",
+		after, members, store.CatalogVersion(), mode)
 	if rule := srv.LastRule(); rule != "" && before != after {
 		if q, err := core.ParseRule(rule, nil); err == nil {
 			if rz, err := cluster.ReDerive(q, cluster.CatalogFromStore(store), before, after); err == nil {
@@ -382,6 +412,52 @@ func rebuildForMembers(srv *server.Server, store *partstore.Store, opts []parajo
 			}
 		}
 	}
+}
+
+// dispatcherSlot tracks the fragment dispatcher of the currently serving
+// generation so the next membership change can abort its in-flight
+// dispatches before the rebuild quiesces.
+type dispatcherSlot struct {
+	mu  sync.Mutex
+	cur *cluster.Dispatcher
+}
+
+func (s *dispatcherSlot) set(d *cluster.Dispatcher) {
+	s.mu.Lock()
+	s.cur = d
+	s.mu.Unlock()
+}
+
+func (s *dispatcherSlot) close() {
+	s.mu.Lock()
+	cur := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if cur != nil {
+		cur.Close()
+	}
+}
+
+// dispatcherFor builds the fragment dispatcher for one committed membership,
+// pairing each member name with its transfer-listener endpoint. A member
+// that vanished between the commit and this call yields nil (the caller
+// keeps coordinator-local execution); its death is about to trigger another
+// OnChange anyway.
+func dispatcherFor(store *partstore.Store, coord *cluster.Coordinator, members []string, tracer *trace.Tracer) *cluster.Dispatcher {
+	byName := make(map[string]string)
+	for _, ep := range coord.Endpoints() {
+		byName[ep.Name] = ep.Addr
+	}
+	eps := make([]cluster.Endpoint, 0, len(members))
+	for _, m := range members {
+		addr, ok := byName[m]
+		if !ok {
+			log.Printf("cluster: member %q vanished before dispatch setup; keeping coordinator-local execution", m)
+			return nil
+		}
+		eps = append(eps, cluster.Endpoint{Name: m, Addr: addr})
+	}
+	return cluster.NewDispatcher(store, eps, cluster.DispatcherConfig{Tracer: tracer, Logf: log.Printf})
 }
 
 // clusterWire maps a coordinator status snapshot to its wire form.
@@ -403,13 +479,20 @@ func clusterWire(st *cluster.Status, workers int) *wire.ClusterInfo {
 
 // runDataNode is the -join mode: a durable partition holder that serves
 // transfers and hands its slice off on leave — no query engine.
-func runDataNode(dataDir, name, coordAddr, listenAddr, faultPlan string) {
+func runDataNode(dataDir, name, coordAddr, listenAddr, debugAddr, faultPlan string) {
 	if dataDir == "" || name == "" {
 		log.Fatalf("-join requires -data-dir and -node-name")
 	}
 	store, err := partstore.Open(dataDir)
 	if err != nil {
 		log.Fatalf("-data-dir %s: %v", dataDir, err)
+	}
+	if debugAddr != "" {
+		got, err := debug.Serve(debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		log.Printf("debug endpoints on http://%s/debug/", got)
 	}
 	mcfg := cluster.MemberConfig{
 		Name:            name,

@@ -590,9 +590,9 @@ func (sh *shell) execPrepared(st *prepStmt, args []int64) error {
 			return err
 		}
 		s := res.Stats
-		fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d%s%s [%s]\n",
+		fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d%s%s%s [%s]\n",
 			len(res.Rows), s.Wall.Round(time.Millisecond), s.QueueWait.Round(time.Millisecond),
-			s.TuplesShuffled, attemptNote(s.Attempts, s.RetryCause),
+			s.TuplesShuffled, attemptNote(s.Attempts, s.RetryCause), remoteNote(s.RemoteFragments),
 			cacheNote(s.PlanCached, s.ResultCached), s.Strategy)
 		fmt.Fprintf(sh.out, "%v\n", res.Columns)
 		sh.printRows(res.Rows)
@@ -609,6 +609,15 @@ func (sh *shell) execPrepared(st *prepStmt, args []int64) error {
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil
+}
+
+// remoteNote renders where the operators ran when it was not the
+// coordinator: "remote=3" means three data nodes executed the fragments.
+func remoteNote(fragments int) string {
+	if fragments == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" remote=%d", fragments)
 }
 
 // attemptNote renders the server's automatic re-executions for result
@@ -631,10 +640,10 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d%s%s [%s]\n",
+		fmt.Fprintf(sh.out, "count = %d  wall=%v queue-wait=%v shuffled=%d%s%s%s [%s]\n",
 			n, st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
 			st.TuplesShuffled, spillNote(st.SpilledBytes, st.SpillSegments),
-			attemptNote(st.Attempts, st.RetryCause), st.Strategy)
+			attemptNote(st.Attempts, st.RetryCause), remoteNote(st.RemoteFragments), st.Strategy)
 		return nil
 	}
 	res, err := sh.remote.Run(ctx, rule, sh.queryOptions())
@@ -642,10 +651,11 @@ func (sh *shell) runRemote(rule string, countOnly bool) error {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s%s%s [%s]\n",
+	fmt.Fprintf(sh.out, "%d rows  wall=%v queue-wait=%v shuffled=%d skew=%.2f%s%s%s%s [%s]\n",
 		len(res.Rows), st.Wall.Round(time.Millisecond), st.QueueWait.Round(time.Millisecond),
 		st.TuplesShuffled, st.MaxConsumerSkew, spillNote(st.SpilledBytes, st.SpillSegments),
-		attemptNote(st.Attempts, st.RetryCause), cacheNote(st.PlanCached, st.ResultCached), st.Strategy)
+		attemptNote(st.Attempts, st.RetryCause), remoteNote(st.RemoteFragments),
+		cacheNote(st.PlanCached, st.ResultCached), st.Strategy)
 	fmt.Fprintf(sh.out, "%v\n", res.Columns)
 	sh.printRows(res.Rows)
 	return nil

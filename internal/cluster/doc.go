@@ -24,4 +24,34 @@
 // On every membership change the coordinator bumps the catalog version,
 // broadcasts it, and re-derives HyperCube shares for the new worker count
 // (ReDerive); the same computation backs cmd/hcconfig -nodes-after.
+//
+// # Distributed execution
+//
+// Beyond holding data, members execute queries. The coordinator plans a
+// query into engine rounds, and a Dispatcher pushes one operator fragment
+// per live member over the same transfer connections that move partitions
+// (fragment.go holds the member side, dispatch.go the coordinator side):
+//
+//   - frag-prepare: the member builds a single-worker partial engine over
+//     its rendezvous-assigned slots and binds a TCP exchange listener; the
+//     reply carries the exchange address. Prepares are cached per catalog
+//     generation and torn down when the generation changes.
+//   - frag-run: the member receives the serialized rounds plus every
+//     peer's exchange address, runs its fragment (workers shuffle tuples
+//     directly member-to-member, never through the coordinator), and
+//     streams its result back in columnar batches (frag-rows) followed by
+//     a frag-done trailer with the schema and the engine report.
+//
+// Every dispatch is guarded by the catalog version: a member whose store
+// is at a different generation refuses with a retryable error rather than
+// compute on stale partitions. Any dispatch failure — a dead member, a
+// refused generation, a broken stream — wraps engine.ErrTransport, which
+// the serving layer's retry budget re-dispatches after the coordinator's
+// next rebuild; the first fragment failure cancels its sibling fragments
+// so a dead peer costs one round trip, not a redial budget.
+//
+// The coordinator concatenates fragment results in member (worker) order,
+// so a distributed answer is byte-identical to the coordinator-local run
+// of the same plan over the same generation. See DESIGN.md, "Distributed
+// execution", for the full lifecycle and the merge-order invariant.
 package cluster

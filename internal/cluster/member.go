@@ -82,6 +82,12 @@ type Member struct {
 	id      atomic.Int64
 	version atomic.Int64
 	crashed atomic.Bool // the injector fired; the member is "dead"
+
+	// Fragment execution (fragment.go): the current generation's engine
+	// runtime, built on frag-prepare and swapped (closing the old one, which
+	// cancels its in-flight runs) when the catalog version moves.
+	fragMu sync.Mutex
+	frag   *fragRuntime
 }
 
 // NewMember creates a member over its local store.
@@ -143,6 +149,11 @@ func (m *Member) Run(ctx context.Context) error {
 	m.ln = ln
 	m.mu.Unlock()
 	defer ln.Close()
+	// Losing the coordinator orphans any in-flight fragment: the dispatcher
+	// that asked for it lives (or lived) next to the coordinator, so cancel
+	// rather than compute for nobody. LIFO ordering runs this before the
+	// listener close above is observed by peers.
+	defer m.closeFragRuntime()
 
 	m.wg.Add(1)
 	go func() {
@@ -217,6 +228,10 @@ func (m *Member) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	// Closing the runtime cancels in-flight fragment runs (they answer the
+	// dispatcher with a retryable frag-done), which is what lets wg.Wait
+	// return while a query is mid-flight.
+	m.closeFragRuntime()
 	m.wg.Wait()
 	return nil
 }
@@ -349,8 +364,11 @@ func (m *Member) donate(cmd *msg) *msg {
 // Crashed reports whether the fault injector killed this member.
 func (m *Member) Crashed() bool { return m.crashed.Load() }
 
-// serveTransfers accepts donor (and coordinator) pushes on the member's
-// transfer listener: one "put" per connection, verified before the ack.
+// serveTransfers accepts connections on the member's transfer listener.
+// Each connection carries either one partition push ("put" → ok) or one
+// fragment exchange ("frag-prepare" → frag-ready, or "frag-run" → frag-rows*
+// frag-done); the first frame decides which, and the connection closes when
+// the exchange completes.
 func (m *Member) serveTransfers(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
@@ -361,17 +379,27 @@ func (m *Member) serveTransfers(ln net.Listener) {
 		go func() {
 			defer m.wg.Done()
 			defer conn.Close()
-			put, err := readMsg(conn, m.cfg.CallTimeout)
+			req, err := readMsg(conn, m.cfg.CallTimeout)
 			if err != nil {
 				return
 			}
 			var reply *msg
-			if put.Type != msgPut || put.Meta == nil || put.Entry == nil {
-				reply = &msg{Type: msgErr, Err: "cluster: transfer connection expects a put"}
-			} else if err := m.store.PutPartition(*put.Meta, *put.Entry, put.Data); err != nil {
-				reply = &msg{Type: msgErr, Err: err.Error()}
-			} else {
-				reply = &msg{Type: msgOK}
+			switch req.Type {
+			case msgPut:
+				if req.Meta == nil || req.Entry == nil {
+					reply = &msg{Type: msgErr, Err: "cluster: put without meta/entry"}
+				} else if err := m.store.PutPartition(*req.Meta, *req.Entry, req.Data); err != nil {
+					reply = &msg{Type: msgErr, Err: err.Error()}
+				} else {
+					reply = &msg{Type: msgOK}
+				}
+			case msgFragPrepare:
+				reply = m.handleFragPrepare(req)
+			case msgFragRun:
+				m.handleFragRun(conn, req) // streams its own replies
+				return
+			default:
+				reply = &msg{Type: msgErr, Err: fmt.Sprintf("cluster: unexpected transfer frame %q", req.Type)}
 			}
 			writeMsg(conn, m.cfg.CallTimeout, reply)
 		}()

@@ -27,4 +27,25 @@ var (
 		"Partition handoffs, by transfer path.", metrics.Label{Name: "path", Value: "direct"})
 	handoffsCached = metrics.Default.Counter("parajoin_cluster_handoffs_total",
 		"Partition handoffs, by transfer path.", metrics.Label{Name: "path", Value: "cached"})
+
+	// Fragment dispatch (distributed execution). Member-side counters track
+	// work actually performed on data nodes; dispatcher-side counters track
+	// what the coordinator pushed out and what came back.
+	fragPrepares = metrics.Default.Counter("parajoin_cluster_fragment_prepares_total",
+		"Per-generation engine runtimes built on members (frag-prepare).")
+	fragRunsServed = metrics.Default.Counter("parajoin_cluster_fragments_served_total",
+		"Operator fragments executed to completion on members.")
+	fragRunErrors = metrics.Default.Counter("parajoin_cluster_fragment_errors_total",
+		"Fragment executions that failed on a member (including retryable generation mismatches).")
+	fragRowsStreamed = metrics.Default.Counter("parajoin_cluster_fragment_result_rows_total",
+		"Result tuples streamed from members back to the coordinator.")
+
+	fragDispatched = metrics.Default.Counter("parajoin_cluster_fragments_dispatched_total",
+		"Operator fragments the coordinator pushed to members.")
+	fragDispatchErrors = metrics.Default.Counter("parajoin_cluster_fragment_dispatch_errors_total",
+		"Fragment dispatches that failed (member unreachable, refused, or mid-query death).")
+	fragResultBytes = metrics.Default.Counter("parajoin_cluster_fragment_result_bytes_total",
+		"Colbatch bytes of fragment results received by the coordinator.")
+	distributedQueries = metrics.Default.Counter("parajoin_cluster_distributed_queries_total",
+		"Queries executed by fragment dispatch instead of the coordinator-local engine.")
 )

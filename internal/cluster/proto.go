@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"parajoin/internal/engine"
 	"parajoin/internal/partstore"
 	"parajoin/internal/wire"
 )
@@ -37,6 +38,17 @@ const (
 	msgLeave   = "leave"   // member → coordinator: clean shutdown
 	msgOK      = "ok"      // generic success reply
 	msgErr     = "err"     // generic failure reply (Err)
+
+	// Fragment dispatch (distributed execution). These travel on transfer
+	// connections, never on the membership connection: a fragment runs for
+	// as long as the query does, and the membership connection's strict
+	// request/response discipline (and heartbeat cadence) must not stall
+	// behind it.
+	msgFragPrepare = "frag-prepare" // coordinator → member: build the generation's engine runtime
+	msgFragReady   = "frag-ready"   // member → coordinator: runtime up (Addr = exchange listener)
+	msgFragRun     = "frag-run"     // coordinator → member: execute serialized rounds
+	msgFragRows    = "frag-rows"    // member → coordinator: one colbatch chunk of the result fragment
+	msgFragDone    = "frag-done"    // member → coordinator: fragment finished (Schema, Report | Err)
 )
 
 // PartRef identifies one partition replica by content: a member's hello
@@ -73,8 +85,48 @@ type msg struct {
 	Slot int    `json:"slot,omitempty"`
 	To   string `json:"to,omitempty"`
 
-	// err.
+	// frag-prepare: the generation's membership and relation catalog.
+	// CatalogVersion doubles as the generation id; Members is the sorted
+	// member list (worker i of the plan is Members[i]); Metas describes
+	// every relation so members can instantiate empty fragments for
+	// relations they hold no slots of.
+	Members []string      `json:"members,omitempty"`
+	Metas   []FragRelMeta `json:"metas,omitempty"`
+
+	// frag-run: the serialized rounds plus everything the member's engine
+	// needs to agree with its peers — the epoch block and the full
+	// exchange-address vector (Addrs[i] is Members[i]'s listener).
+	Epoch   int64        `json:"epoch,omitempty"`
+	Addrs   []string     `json:"addrs,omitempty"`
+	Rounds  []byte       `json:"rounds,omitempty"`
+	RunOpts *FragRunOpts `json:"run_opts,omitempty"`
+
+	// frag-done.
+	Schema    []string       `json:"schema,omitempty"`
+	Report    *engine.Report `json:"report,omitempty"`
+	Retryable bool           `json:"retryable,omitempty"`
+
+	// err (and frag-done failures).
 	Err string `json:"err,omitempty"`
+}
+
+// FragRelMeta describes one relation of the fragment catalog: enough for a
+// member to load its rendezvous slice (or instantiate an empty fragment with
+// the right schema when it owns no slots).
+type FragRelMeta struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Slots   int      `json:"slots"`
+}
+
+// FragRunOpts is the serializable subset of engine.RunOpts a fragment
+// inherits from the coordinator's per-query options. Paths (spill
+// directories) deliberately do not travel: they are coordinator-local.
+type FragRunOpts struct {
+	MaxLocalTuples int64 `json:"max_local_tuples,omitempty"`
+	Spill          int   `json:"spill,omitempty"`
+	MaxSpillBytes  int64 `json:"max_spill_bytes,omitempty"`
+	Parallelism    int   `json:"parallelism,omitempty"`
 }
 
 // writeMsg / readMsg wrap the wire framing with the protocol's deadline

@@ -87,6 +87,14 @@ type Cluster struct {
 	// default) disables tracing at zero cost: operators are not wrapped and
 	// no events are built. Set it before running queries.
 	Tracer *trace.Tracer
+	// Remote, when non-nil, executes whole multi-round plans somewhere
+	// other than this cluster's workers: RunRounds/RunRoundsOpts delegate
+	// to it instead of running locally (distributed execution — see
+	// DESIGN.md, "Distributed execution"). The local workers and their
+	// storage stay intact, serving as the catalog and the fallback path.
+	// Set it before running queries; assigning nil restores local
+	// execution.
+	Remote RemoteRunner
 
 	workers   int
 	hosted    []int
@@ -249,6 +257,12 @@ func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
 		c.closed.Store(true)
 		close(c.closeCh)
+		// A closeable RemoteRunner (e.g. a fragment dispatcher) belongs to
+		// this engine generation; closing it aborts any dispatch still in
+		// flight so nothing waits on a superseded cluster.
+		if rc, ok := c.Remote.(interface{ Close() error }); ok {
+			rc.Close()
+		}
 		c.closeErr = c.transport.Close()
 	})
 	return c.closeErr

@@ -1,0 +1,35 @@
+// Package engine is parajoin's shared-nothing parallel execution engine: N
+// workers, each with private storage, exchanging tuples through a pluggable
+// Transport. It plays the role Myria plays in the paper — the substrate the
+// shuffle and join algorithms run on — and it meters exactly the quantities
+// the paper's evaluation reports: tuples shuffled per exchange (with
+// producer and consumer skew) and per-worker busy time.
+//
+// The engine is SPMD: every worker runs the same plan over its own
+// fragment, and a plan's exchanges decide which tuples cross worker
+// boundaries (hash routing for Repartition joins, HyperCube routing for
+// multi-way joins, broadcast for small build sides). Workers are an
+// abstraction over placement: NewCluster hosts all N in one process wired
+// by an in-memory transport, while NewPartialCluster hosts any subset and
+// reaches the rest through a TCPTransport — the same plan, the same worker
+// indices, the same answer, whether the workers share a process or a
+// datacenter.
+//
+// # Distributed execution
+//
+// Plans and run options serialize (EncodeRounds / DecodeRounds, serial.go),
+// so a coordinator can plan once and ship each worker's fragment to a
+// remote data node. A Cluster with a RemoteRunner installed delegates
+// RunRounds to it wholesale; internal/cluster's Dispatcher implements the
+// interface by streaming fragments to members and concatenating their
+// results in worker order, which keeps distributed answers byte-identical
+// to coordinator-local runs of the same plan. MergeDistributedReports
+// combines the per-fragment engine reports into the same Report shape a
+// local run produces. See DESIGN.md, "Distributed execution".
+//
+// Failure handling is round-grained: ErrTransport-class errors mean a
+// communication round died without side effects (shuffles are single
+// rounds over immutable base relations), so Retryable callers simply
+// re-execute; everything else — memory, spill budget, cancellation,
+// closure — is terminal.
+package engine

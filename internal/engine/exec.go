@@ -526,6 +526,14 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 	}()
 
 	n := c.Workers()
+	// A pinned epoch (distributed execution) overrides the process-local
+	// counter: every data node of one query must number its exchanges
+	// identically, and the coordinator hands out disjoint blocks so
+	// concurrent queries cannot cross-talk on the shared mesh.
+	epoch := opts.Epoch
+	if epoch <= 0 {
+		epoch = c.epoch.Add(1)
+	}
 	e := &exec{
 		cluster:     c,
 		transport:   c.transport,
@@ -534,7 +542,7 @@ func (c *Cluster) runFragments(ctx context.Context, plan *Plan, opts RunOpts, te
 		ctx:         runCtx,
 		cancel:      cancel,
 		batchSize:   c.BatchSize,
-		epoch:       c.epoch.Add(1),
+		epoch:       epoch,
 		temps:       temps,
 		acct:        spill.NewAccountant(n, c.runMemLimit(opts), c.runSpillBytes(opts)),
 		spillPolicy: c.runSpillPolicy(opts),

@@ -187,6 +187,12 @@ type Report struct {
 	// means one goroutine did nearly everything.
 	JoinTasks    int64
 	JoinStealMax int64
+	// RemoteFragments is the number of operator fragments the run executed
+	// on remote data nodes (0 for a coordinator-local run); RemoteMembers
+	// names the members that ran them, in worker order. Set by the
+	// fragment dispatcher, never by local execution.
+	RemoteFragments int
+	RemoteMembers   []string
 	// Exchanges lists per-exchange traffic in plan order.
 	Exchanges []ExchangeReport
 }

@@ -49,6 +49,14 @@ type RunOpts struct {
 	// this run: 0 inherits, a negative value forces the serial path, K>0
 	// allows up to K concurrent sub-joins per worker.
 	Parallelism int
+	// Epoch, when > 0, pins the run's exchange-id namespace instead of
+	// drawing one from the cluster's internal counter; round i of a
+	// multi-round plan uses Epoch+i. Distributed execution needs it: every
+	// data node of a query shares one TCP exchange mesh, so all of them
+	// must agree on the epoch, and concurrent queries must not collide —
+	// the coordinator allocates each query a disjoint block. 0 (the
+	// default) keeps the process-local counter.
+	Epoch int64
 }
 
 func (c *Cluster) runTracer(o RunOpts) *trace.Tracer {
@@ -140,6 +148,12 @@ func (c *Cluster) RunRoundsOpts(ctx context.Context, rounds []Round, opts RunOpt
 	if rounds[len(rounds)-1].StoreAs != "" {
 		return nil, nil, fmt.Errorf("engine: final round must not store its result")
 	}
+	if c.Remote != nil {
+		if c.closed.Load() {
+			return nil, nil, ErrClosed
+		}
+		return c.Remote.RunRounds(ctx, rounds, opts)
+	}
 	// temps is this run's private relation namespace: scans resolve here
 	// before the shared cluster storage.
 	temps := make(map[string][]*rel.Relation)
@@ -152,7 +166,13 @@ func (c *Cluster) RunRoundsOpts(ctx context.Context, rounds []Round, opts RunOpt
 		} else {
 			prog.SetStage(fmt.Sprintf("executing round %d/%d", i+1, len(rounds)))
 		}
-		frags, report, err := c.runFragments(ctx, round.Plan, opts, temps)
+		ropts := opts
+		if opts.Epoch > 0 {
+			// Pinned epochs advance per round so each round keeps a private
+			// exchange-id namespace, same as counter-drawn epochs do.
+			ropts.Epoch = opts.Epoch + int64(i)
+		}
+		frags, report, err := c.runFragments(ctx, round.Plan, ropts, temps)
 		combined = mergeReports(combined, report)
 		if err != nil {
 			return nil, combined, fmt.Errorf("engine: round %d (%s): %w", i, round.Name, err)
@@ -204,6 +224,12 @@ func mergeReports(a, b *Report) *Report {
 
 		JoinTasks:    a.JoinTasks + b.JoinTasks,
 		JoinStealMax: max(a.JoinStealMax, b.JoinStealMax),
+
+		RemoteFragments: max(a.RemoteFragments, b.RemoteFragments),
+		RemoteMembers:   a.RemoteMembers,
+	}
+	if len(out.RemoteMembers) == 0 {
+		out.RemoteMembers = b.RemoteMembers
 	}
 	for i := range out.BusyTime {
 		out.BusyTime[i] += b.BusyTime[i]

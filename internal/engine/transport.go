@@ -1,9 +1,3 @@
-// Package engine is parajoin's shared-nothing parallel execution engine: N
-// workers, each with private storage, exchanging tuples through a pluggable
-// Transport. It plays the role Myria plays in the paper — the substrate the
-// shuffle and join algorithms run on — and it meters exactly the quantities
-// the paper's evaluation reports: tuples shuffled per exchange (with
-// producer and consumer skew) and per-worker busy time.
 package engine
 
 import (

@@ -217,12 +217,28 @@ type RecordedOutcome struct {
 	CPU      time.Duration
 	Shuffled int64
 	Results  int
+	// Bytes is the run's transport bytes sent (exchange traffic), when the
+	// measuring harness has them outside the full Report — the distributed
+	// scaling study records it per arm.
+	Bytes int64 `json:",omitempty"`
 	// PeakResident is the largest per-worker in-memory working set over the
 	// run; SpilledBytes and SpillSegments describe spill-to-disk activity.
 	PeakResident  int64          `json:",omitempty"`
 	SpilledBytes  int64          `json:",omitempty"`
 	SpillSegments int64          `json:",omitempty"`
 	Report        *engine.Report `json:",omitempty"`
+}
+
+// RecordOutcome appends one externally measured run to the JSON record
+// (no-op unless Record is set). The distributed scaling study uses it: its
+// runs execute on their own coordinator+data-node stack rather than on the
+// suite's in-process clusters.
+func (s *Suite) RecordOutcome(o *RecordedOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Record {
+		s.outcomes = append(s.outcomes, o)
+	}
 }
 
 // Outcomes returns the runs recorded so far (Record must be set).

@@ -908,6 +908,8 @@ func wireStats(st *parajoin.Stats) *wire.Stats {
 		SpillSegments:      st.SpillSegments,
 		PlanCached:         st.PlanCached,
 		ResultCached:       st.ResultCached,
+		RemoteFragments:    st.RemoteFragments,
+		RemoteMembers:      st.RemoteMembers,
 	}
 }
 

@@ -172,6 +172,11 @@ type Stats struct {
 	// executing.
 	PlanCached   bool `json:"plan_cached,omitempty"`
 	ResultCached bool `json:"result_cached,omitempty"`
+	// RemoteFragments is the number of operator fragments that ran on
+	// remote data nodes (0 for a coordinator-local execution);
+	// RemoteMembers names them in worker order.
+	RemoteFragments int      `json:"remote_fragments,omitempty"`
+	RemoteMembers   []string `json:"remote_members,omitempty"`
 }
 
 // RelationInfo describes one catalog entry.

@@ -276,6 +276,14 @@ func (db *DB) Close() error { return db.cluster.Close() }
 // Workers returns the cluster size.
 func (db *DB) Workers() int { return db.workers }
 
+// SetRemoteRunner installs (or, given nil, removes) a remote execution hook
+// on the database's engine: when set, whole multi-round plans are forwarded
+// to it instead of executing on the coordinator's local workers. Planning,
+// caching, and result handling are unchanged — only where the operators run
+// moves. The serving layer installs a cluster fragment dispatcher here after
+// every elastic rebuild; see DESIGN.md, "Distributed execution".
+func (db *DB) SetRemoteRunner(r engine.RemoteRunner) { db.cluster.Remote = r }
+
 // Load registers a relation and round-robin-partitions its rows across the
 // workers. Values are int64; use Code to encode strings.
 func (db *DB) Load(name string, columns []string, rows [][]int64) error {
@@ -577,9 +585,9 @@ func (q *Query) RunWithOptions(ctx context.Context, opts RunOptions) (*Result, e
 	}
 	result.Stats.fromReport(report)
 	if col != nil {
-		result.Stats.Explain = explainWithPlanOrigin(
+		result.Stats.Explain = explainWithExecution(explainWithPlanOrigin(
 			explainWithShares(engine.ExplainAnalyze(res.Rounds, col.Events(), report), res.HC, db.workers),
-			planCached)
+			planCached), report)
 	}
 	if s == HyperCubeTributary || s == HyperCubeHash {
 		result.Stats.HyperCubeShares = res.HC.String()
@@ -664,9 +672,9 @@ func (q *Query) CountWithOptions(ctx context.Context, opts RunOptions) (int64, *
 	}
 	st.fromReport(report)
 	if col != nil {
-		st.Explain = explainWithPlanOrigin(
+		st.Explain = explainWithExecution(explainWithPlanOrigin(
 			explainWithShares(engine.ExplainAnalyze(res.Rounds, col.Events(), report), res.HC, db.workers),
-			planCached)
+			planCached), report)
 	}
 	if useRC && db.cluster.DataEpoch() == epoch {
 		db.resultCache.Put(rkey, epoch, &cache.Result{Strategy: string(s), Count: total})
@@ -690,6 +698,11 @@ type Stats struct {
 	CPU             time.Duration
 	TuplesShuffled  int64
 	MaxConsumerSkew float64
+	// BytesShuffled is the run's transport bytes sent — encoded colbatch
+	// frames on metered transports, 8 bytes per value on the in-memory
+	// one. In distributed execution it aggregates the members' exchange
+	// traffic from their merged reports.
+	BytesShuffled int64
 	// HyperCubeShares describes the share configuration ("[x:4 × y:4 × z:4]")
 	// for HyperCube strategies.
 	HyperCubeShares string
@@ -717,6 +730,11 @@ type Stats struct {
 	// result cache without executing at all.
 	PlanCached   bool
 	ResultCached bool
+	// RemoteFragments is the number of operator fragments the query ran on
+	// remote data nodes (0 when the coordinator executed it locally);
+	// RemoteMembers names the data nodes that ran them, in worker order.
+	RemoteFragments int
+	RemoteMembers   []string
 }
 
 // fromReport copies the report's spill and parallel-join counters into a
@@ -727,10 +745,13 @@ func (s *Stats) fromReport(report *engine.Report) {
 			s.PeakResidentTuples = p
 		}
 	}
+	s.BytesShuffled = report.BytesSent
 	s.SpilledBytes = report.SpilledBytes
 	s.SpillSegments = report.SpillSegments
 	s.JoinTasks = report.JoinTasks
 	s.JoinStealMax = report.JoinStealMax
+	s.RemoteFragments = report.RemoteFragments
+	s.RemoteMembers = report.RemoteMembers
 }
 
 // chooseStrategy applies the paper's Table-6 conclusion: when the regular
